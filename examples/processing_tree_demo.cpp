@@ -1,0 +1,80 @@
+// The execution model of the paper's section 4: processing trees with AND
+// (join), OR (union) and contracted-clique (CC, fixpoint) nodes — and the
+// section 5 transformations that define the execution space.
+//
+// Reproduces the structure of Figures 4-1 (processing graph with clique
+// contraction) and 4-2 (flatten distributes a join over a union).
+//
+// Build & run:  ./build/examples/processing_tree_demo
+
+#include <cstdio>
+
+#include "ast/parser.h"
+#include "plan/processing_tree.h"
+#include "plan/transform.h"
+
+int main() {
+  // The shape of Figure 2-1: derived predicates over base relations with a
+  // recursive clique (P2).
+  auto program = ldl::ParseProgram(R"(
+    p1(X, Y) <- b1(X, Z), p2(Z, Y).
+    p1(X, Y) <- b2(X, Y).
+    p2(X, Y) <- b3(X, Z), p2(Z, Y).
+    p2(X, Y) <- b4(X, Y).
+  )");
+  if (!program.ok()) return 1;
+
+  auto goal = ldl::ParseLiteral("p1(1, Y)");
+  auto tree = ldl::BuildProcessingTree(*program, *goal);
+  if (!tree.ok()) {
+    std::printf("%s\n", tree.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("=== Figure 4-1: processing tree for p1(1, Y)? ===\n");
+  std::printf("(the recursive clique {p2} is contracted into one CC node\n"
+              " whose children are the fixpoint's operands)\n\n%s\n",
+              (*tree)->ToString().c_str());
+
+  // Section 5 transformations.
+  ldl::PlanNode* root = tree->get();
+  ldl::PlanNode* and_node = root->children[0].get();
+
+  std::printf("=== MP: pipeline the first AND child ===\n");
+  (void)ldl::TransformMp(and_node->children[0].get());
+  std::printf("%s\n", root->ToString().c_str());
+
+  std::printf("=== PR: permute the AND node's children ===\n");
+  (void)ldl::TransformPr(and_node, {1, 0});
+  std::printf("%s\n", root->ToString().c_str());
+
+  std::printf("=== EL + PA: label the CC node with magic and a SIP ===\n");
+  ldl::PlanNode* cc = and_node->children[0].get();  // after PR, p2 is first
+  (void)ldl::TransformPa(cc, {{0}, {1, 0}}, "magic");
+  std::printf("%s\n", root->ToString().c_str());
+
+  // Figure 4-2: flatten.
+  auto program2 = ldl::ParseProgram(R"(
+    u(X, Y) <- alt1(X, Y).
+    u(X, Y) <- alt2(X, Y).
+    q(X, Z) <- base(X, Y), u(Y, Z).
+  )");
+  auto goal2 = ldl::ParseLiteral("q(X, Z)");
+  auto tree2 = ldl::BuildProcessingTree(*program2, *goal2);
+  if (!tree2.ok()) return 1;
+  ldl::PlanNode* and2 = (*tree2)->children[0].get();
+
+  std::printf("=== Figure 4-2 (before): join over a union ===\n%s\n",
+              and2->ToString().c_str());
+  auto flattened = ldl::TransformFlatten(*and2, 1);
+  if (flattened.ok()) {
+    std::printf("=== Figure 4-2 (after FU): union of joins ===\n%s\n",
+                (*flattened)->ToString().c_str());
+    auto back = ldl::TransformUnflatten(**flattened);
+    if (back.ok()) {
+      std::printf("=== unflatten restores the original shape ===\n%s\n",
+                  (*back)->ToString().c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Safety (paper section 8): unsafe executions are an extreme case of poor
+// executions. The optimizer prices EC violations and non-well-founded
+// recursion at infinite cost; if no finite-cost plan exists the query is
+// rejected at compile time with a diagnostic — no run-time freezing.
+//
+// Build & run:  ./build/examples/safety_demo
+
+#include <cstdio>
+
+#include "ldl/ldl.h"
+
+namespace {
+
+void Try(ldl::LdlSystem* sys, const char* query) {
+  std::printf("?- %s\n", query);
+  auto answer = sys->Query(query);
+  if (answer.ok()) {
+    std::printf("   SAFE: %zu answers", answer->answers.size());
+    for (size_t i = 0; i < answer->answers.size() && i < 3; ++i) {
+      std::printf("  %s",
+                  ldl::TupleToString(answer->answers.tuples()[i]).c_str());
+    }
+    std::printf("\n\n");
+  } else {
+    std::printf("   %s\n\n", answer.status().ToString().c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  ldl::LdlSystem sys;
+  ldl::Status st = sys.LoadProgram(R"(
+    price(widget, 5).
+    price(gadget, 50).
+
+    % Textually unsafe (Y = P * 2 precedes the binding of P), but a safe
+    % permutation exists: the optimizer reorders silently.
+    doubled(X, Y) <- Y = P * 2, price(X, P).
+
+    % An open comparison: safe only for bound query forms.
+    bigger(X, Y) <- X > Y.
+
+    % Arithmetic recursion: no well-founded order; never safe.
+    nat(X) <- zero(X).
+    nat(Y) <- nat(X), Y = X + 1.
+    zero(0).
+
+    % List recursion: safe when the list argument is bound (structural
+    % descent), unsafe when free (bottom-up term growth).
+    member(X, [X | T]).
+    member(X, [H | T]) <- member(X, T).
+
+    % The paper's section 8.3 example: the answer is finite (<3, 6, 18>)
+    % but no permutation of goals computes it; only flattening would.
+    p(X, Y, Z) <- X = 3, Z = X + Y.
+  )");
+  if (!st.ok()) {
+    std::printf("load failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  std::printf("=== safe after reordering ===\n");
+  Try(&sys, "doubled(widget, Y)");
+
+  std::printf("=== query-form specific safety ===\n");
+  Try(&sys, "bigger(7, 3)");   // bb: computable
+  Try(&sys, "bigger(X, 3)");   // fb: infinite relation -> rejected
+
+  std::printf("=== recursion safety ===\n");
+  Try(&sys, "nat(N)");                  // rejected: not well-founded
+  Try(&sys, "member(X, [1, 2, 3])");    // bound list: structural descent
+  Try(&sys, "member(1, L)");            // free list: rejected
+
+  std::printf("=== the section 8.3 limitation ===\n");
+  Try(&sys, "p(X, Y, Z)");
+
+  // The standalone analyzer pinpoints the problems without optimizing.
+  std::printf("=== safety report for nat(N)? ===\n%s\n",
+              sys.CheckSafety("nat(N)").ToString().c_str());
+  return 0;
+}

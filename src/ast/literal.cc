@@ -1,0 +1,97 @@
+#include "ast/literal.h"
+
+#include <sstream>
+
+#include "base/strings.h"
+
+namespace ldl {
+
+std::string PredicateId::ToString() const {
+  return StrCat(name, "/", arity);
+}
+
+const char* BuiltinKindToString(BuiltinKind kind) {
+  switch (kind) {
+    case BuiltinKind::kNone:
+      return "?";
+    case BuiltinKind::kEq:
+      return "=";
+    case BuiltinKind::kNe:
+      return "!=";
+    case BuiltinKind::kLt:
+      return "<";
+    case BuiltinKind::kLe:
+      return "<=";
+    case BuiltinKind::kGt:
+      return ">";
+    case BuiltinKind::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+Literal Literal::Make(std::string predicate, std::vector<Term> args) {
+  Literal l;
+  l.predicate_ = std::move(predicate);
+  l.args_ = std::move(args);
+  return l;
+}
+
+Literal Literal::MakeNegated(std::string predicate, std::vector<Term> args) {
+  Literal l = Make(std::move(predicate), std::move(args));
+  l.negated_ = true;
+  return l;
+}
+
+Literal Literal::MakeBuiltin(BuiltinKind kind, Term lhs, Term rhs) {
+  Literal l;
+  l.predicate_ = BuiltinKindToString(kind);
+  l.args_ = {std::move(lhs), std::move(rhs)};
+  l.builtin_ = kind;
+  return l;
+}
+
+void Literal::CollectVariables(std::vector<std::string>* out) const {
+  for (const Term& t : args_) t.CollectVariables(out);
+}
+
+Literal Literal::WithArgs(std::vector<Term> args) const {
+  Literal l = *this;
+  l.args_ = std::move(args);
+  return l;
+}
+
+Literal Literal::WithPredicateName(std::string name) const {
+  Literal l = *this;
+  l.predicate_ = std::move(name);
+  return l;
+}
+
+bool Literal::operator==(const Literal& other) const {
+  return predicate_ == other.predicate_ && negated_ == other.negated_ &&
+         builtin_ == other.builtin_ && args_ == other.args_;
+}
+
+std::string Literal::ToString() const {
+  std::ostringstream os;
+  if (negated_) os << "not ";
+  if (IsBuiltin()) {
+    os << args_[0] << ' ' << predicate_ << ' ' << args_[1];
+  } else {
+    os << predicate_ << '(';
+    bool first = true;
+    for (const Term& a : args_) {
+      if (!first) os << ", ";
+      first = false;
+      os << a;
+    }
+    os << ')';
+  }
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Literal& literal) {
+  return os << literal.ToString();
+}
+
+}  // namespace ldl

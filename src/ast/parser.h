@@ -1,0 +1,38 @@
+#ifndef LDLOPT_AST_PARSER_H_
+#define LDLOPT_AST_PARSER_H_
+
+#include <string>
+#include <string_view>
+
+#include "ast/program.h"
+#include "base/status.h"
+
+namespace ldl {
+
+/// Parses LDL program text into a Program.
+///
+/// Syntax (Prolog-flavoured, matching the paper's examples):
+///
+///   % line comment
+///   up(1, 2).                                  // ground fact
+///   sg(X, Y) <- up(X, X1), sg(X1, Y1), dn(Y1, Y).
+///   rich(X)  <- owns(X, P), V = P * 2, V > 100.
+///   bachelor(X) <- person(X), not married(X).
+///   path(X, Y, [X | T]) <- edge(X, Z), path(Z, Y, T).
+///   sg(1, Y)?                                  // query form
+///
+/// `:-` is accepted as a synonym for `<-`. Variables start with an upper
+/// case letter or `_`; symbols and predicate names with a lower case letter.
+/// Comparisons (`= != < <= > >=`) and arithmetic (`+ - * / mod`, parens)
+/// form builtin literals.
+Result<Program> ParseProgram(std::string_view text);
+
+/// Parses a single literal such as `sg(1, Y)` (no trailing `.`/`?`).
+Result<Literal> ParseLiteral(std::string_view text);
+
+/// Parses a single term such as `f(a, [1, 2], X)`.
+Result<Term> ParseTerm(std::string_view text);
+
+}  // namespace ldl
+
+#endif  // LDLOPT_AST_PARSER_H_

@@ -1,0 +1,286 @@
+#include "ast/term.h"
+
+#include <sstream>
+
+#include "base/hash.h"
+
+namespace ldl {
+
+namespace {
+const std::vector<Term>& EmptyArgs() {
+  static const auto* empty = new std::vector<Term>();
+  return *empty;
+}
+
+// List constructors: '.'(Head, Tail) cons cells terminated by the symbol [].
+constexpr char kConsFunctor[] = ".";
+constexpr char kNilSymbol[] = "[]";
+}  // namespace
+
+Term Term::MakeVariable(std::string name) {
+  return Term(TermKind::kVariable, std::move(name));
+}
+
+Term Term::MakeInt(int64_t value) {
+  Term t(TermKind::kInt, "");
+  t.int_value_ = value;
+  return t;
+}
+
+Term Term::MakeReal(double value) {
+  Term t(TermKind::kReal, "");
+  t.real_value_ = value;
+  return t;
+}
+
+Term Term::MakeString(std::string value) {
+  return Term(TermKind::kString, std::move(value));
+}
+
+Term Term::MakeSymbol(std::string name) {
+  return Term(TermKind::kSymbol, std::move(name));
+}
+
+Term Term::MakeFunction(std::string functor, std::vector<Term> args) {
+  Term t(TermKind::kFunction, std::move(functor));
+  t.args_ = std::make_shared<const std::vector<Term>>(std::move(args));
+  return t;
+}
+
+Term Term::MakeList(const std::vector<Term>& items) {
+  return MakeList(items, MakeSymbol(kNilSymbol));
+}
+
+Term Term::MakeList(const std::vector<Term>& items, Term tail) {
+  Term list = std::move(tail);
+  for (auto it = items.rbegin(); it != items.rend(); ++it) {
+    list = MakeFunction(kConsFunctor, {*it, std::move(list)});
+  }
+  return list;
+}
+
+const std::vector<Term>& Term::args() const {
+  return args_ ? *args_ : EmptyArgs();
+}
+
+bool Term::IsGround() const {
+  switch (kind_) {
+    case TermKind::kVariable:
+      return false;
+    case TermKind::kFunction:
+      for (const Term& a : args()) {
+        if (!a.IsGround()) return false;
+      }
+      return true;
+    default:
+      return true;
+  }
+}
+
+void Term::CollectVariables(std::vector<std::string>* out) const {
+  if (kind_ == TermKind::kVariable) {
+    out->push_back(text_);
+  } else if (kind_ == TermKind::kFunction) {
+    for (const Term& a : args()) a.CollectVariables(out);
+  }
+}
+
+bool Term::ContainsVariable(const std::string& name) const {
+  if (kind_ == TermKind::kVariable) return text_ == name;
+  if (kind_ == TermKind::kFunction) {
+    for (const Term& a : args()) {
+      if (a.ContainsVariable(name)) return true;
+    }
+  }
+  return false;
+}
+
+bool Term::HasStrictSubterm(const Term& other) const {
+  if (kind_ != TermKind::kFunction) return false;
+  for (const Term& a : args()) {
+    if (a == other || a.HasStrictSubterm(other)) return true;
+  }
+  return false;
+}
+
+size_t Term::Size() const {
+  if (kind_ != TermKind::kFunction) return 1;
+  size_t n = 1;
+  for (const Term& a : args()) n += a.Size();
+  return n;
+}
+
+size_t Term::Depth() const {
+  if (kind_ != TermKind::kFunction) return 1;
+  size_t d = 0;
+  for (const Term& a : args()) d = std::max(d, a.Depth());
+  return d + 1;
+}
+
+bool Term::operator==(const Term& other) const {
+  if (kind_ != other.kind_) return false;
+  switch (kind_) {
+    case TermKind::kInt:
+      return int_value_ == other.int_value_;
+    case TermKind::kReal:
+      return real_value_ == other.real_value_;
+    case TermKind::kVariable:
+    case TermKind::kString:
+    case TermKind::kSymbol:
+      return text_ == other.text_;
+    case TermKind::kFunction: {
+      if (text_ != other.text_) return false;
+      const auto& a = args();
+      const auto& b = other.args();
+      if (a.size() != b.size()) return false;
+      for (size_t i = 0; i < a.size(); ++i) {
+        if (!(a[i] == b[i])) return false;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Term::operator<(const Term& other) const {
+  if (kind_ != other.kind_) return kind_ < other.kind_;
+  switch (kind_) {
+    case TermKind::kInt:
+      return int_value_ < other.int_value_;
+    case TermKind::kReal:
+      return real_value_ < other.real_value_;
+    case TermKind::kVariable:
+    case TermKind::kString:
+    case TermKind::kSymbol:
+      return text_ < other.text_;
+    case TermKind::kFunction: {
+      if (text_ != other.text_) return text_ < other.text_;
+      const auto& a = args();
+      const auto& b = other.args();
+      if (a.size() != b.size()) return a.size() < b.size();
+      for (size_t i = 0; i < a.size(); ++i) {
+        if (a[i] < b[i]) return true;
+        if (b[i] < a[i]) return false;
+      }
+      return false;
+    }
+  }
+  return false;
+}
+
+size_t Term::Hash() const {
+  size_t seed = static_cast<size_t>(kind_);
+  switch (kind_) {
+    case TermKind::kInt:
+      HashValue(&seed, int_value_);
+      break;
+    case TermKind::kReal:
+      HashValue(&seed, real_value_);
+      break;
+    case TermKind::kVariable:
+    case TermKind::kString:
+    case TermKind::kSymbol:
+      HashValue(&seed, text_);
+      break;
+    case TermKind::kFunction:
+      HashValue(&seed, text_);
+      for (const Term& a : args()) HashCombine(&seed, a.Hash());
+      break;
+  }
+  return seed;
+}
+
+namespace {
+
+// Renders a cons-cell chain using list sugar; returns false if `t` is not a
+// cons cell.
+bool TryPrintList(const Term& t, std::ostream& os);
+
+bool IsInfixFunctor(const std::string& f, size_t arity) {
+  return arity == 2 &&
+         (f == "+" || f == "-" || f == "*" || f == "/" || f == "mod");
+}
+
+// `nested` parenthesizes infix arithmetic when it appears inside another
+// term, so X + 1 prints bare but f((X + 1)) and (X + 1) * 2 stay readable.
+void PrintTerm(const Term& t, std::ostream& os, bool nested = false) {
+  switch (t.kind()) {
+    case TermKind::kVariable:
+    case TermKind::kSymbol:
+      os << t.text();
+      return;
+    case TermKind::kInt:
+      os << t.int_value();
+      return;
+    case TermKind::kReal:
+      os << t.real_value();
+      return;
+    case TermKind::kString:
+      os << '"' << t.text() << '"';
+      return;
+    case TermKind::kFunction: {
+      if (TryPrintList(t, os)) return;
+      if (IsInfixFunctor(t.text(), t.arity())) {
+        if (nested) os << '(';
+        PrintTerm(t.args()[0], os, true);
+        os << ' ' << t.text() << ' ';
+        PrintTerm(t.args()[1], os, true);
+        if (nested) os << ')';
+        return;
+      }
+      os << t.text() << '(';
+      bool first = true;
+      for (const Term& a : t.args()) {
+        if (!first) os << ", ";
+        first = false;
+        PrintTerm(a, os, true);
+      }
+      os << ')';
+      return;
+    }
+  }
+}
+
+bool TryPrintList(const Term& t, std::ostream& os) {
+  if (!(t.kind() == TermKind::kFunction && t.text() == kConsFunctor &&
+        t.arity() == 2)) {
+    return false;
+  }
+  os << '[';
+  const Term* cur = &t;
+  bool first = true;
+  while (true) {
+    if (!first) os << ", ";
+    first = false;
+    PrintTerm(cur->args()[0], os);
+    const Term& tail = cur->args()[1];
+    if (tail.kind() == TermKind::kSymbol && tail.text() == kNilSymbol) {
+      break;
+    }
+    if (tail.kind() == TermKind::kFunction && tail.text() == kConsFunctor &&
+        tail.arity() == 2) {
+      cur = &tail;
+      continue;
+    }
+    os << " | ";
+    PrintTerm(tail, os);
+    break;
+  }
+  os << ']';
+  return true;
+}
+
+}  // namespace
+
+std::string Term::ToString() const {
+  std::ostringstream os;
+  PrintTerm(*this, os);
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Term& term) {
+  PrintTerm(term, os);
+  return os;
+}
+
+}  // namespace ldl

@@ -1,0 +1,23 @@
+#ifndef LDLOPT_BASE_HASH_H_
+#define LDLOPT_BASE_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace ldl {
+
+/// Mixes `value` into `seed` (boost::hash_combine recipe, 64-bit variant).
+inline void HashCombine(size_t* seed, size_t value) {
+  *seed ^= value + 0x9e3779b97f4a7c15ULL + (*seed << 6) + (*seed >> 2);
+}
+
+/// Hashes any std::hash-able value into `seed`.
+template <typename T>
+void HashValue(size_t* seed, const T& value) {
+  HashCombine(seed, std::hash<T>{}(value));
+}
+
+}  // namespace ldl
+
+#endif  // LDLOPT_BASE_HASH_H_

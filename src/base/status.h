@@ -1,0 +1,132 @@
+#ifndef LDLOPT_BASE_STATUS_H_
+#define LDLOPT_BASE_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace ldl {
+
+/// Error categories used across the library. The set is deliberately small:
+/// callers mostly branch on ok()/!ok() and surface message() to the user.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< Malformed input (parse errors, bad arity, ...).
+  kNotFound,          ///< Missing predicate/relation/index.
+  kUnsafe,            ///< Query has no safe execution (paper section 8).
+  kUnsupported,       ///< Valid LDL we have chosen not to implement.
+  kInternal,          ///< Invariant violation inside the library.
+  kResourceExhausted  ///< Iteration/size guard tripped.
+};
+
+/// Returns a stable human-readable name ("InvalidArgument", ...) for a code.
+const char* StatusCodeToString(StatusCode code);
+
+/// A lightweight success-or-error value, modeled on the Status idiom used by
+/// production database codebases (Arrow, RocksDB). Functions that can fail
+/// return Status (or Result<T>); exceptions are not used across API
+/// boundaries.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Unsafe(std::string msg) {
+    return Status(StatusCode::kUnsafe, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// A value-or-error wrapper; the moral equivalent of absl::StatusOr<T>.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value or from an error Status keeps call
+  /// sites terse: `return relation;` / `return Status::NotFound(...)`.
+  Result(T value) : value_(std::move(value)) {}          // NOLINT
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result(Status) requires an error status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates an error Status from an expression, mirroring the
+/// RETURN_NOT_OK idiom used throughout Arrow and RocksDB.
+#define LDL_RETURN_NOT_OK(expr)            \
+  do {                                     \
+    ::ldl::Status _st = (expr);            \
+    if (!_st.ok()) return _st;             \
+  } while (false)
+
+/// Evaluates a Result<T> expression, propagating errors and otherwise
+/// assigning the unwrapped value to `lhs`.
+#define LDL_ASSIGN_OR_RETURN_IMPL(var, lhs, rexpr) \
+  auto var = (rexpr);                              \
+  if (!var.ok()) return var.status();              \
+  lhs = std::move(var).value()
+
+#define LDL_ASSIGN_OR_RETURN_CONCAT(a, b) a##b
+#define LDL_ASSIGN_OR_RETURN_NAME(a, b) LDL_ASSIGN_OR_RETURN_CONCAT(a, b)
+#define LDL_ASSIGN_OR_RETURN(lhs, rexpr)                                     \
+  LDL_ASSIGN_OR_RETURN_IMPL(LDL_ASSIGN_OR_RETURN_NAME(_res_, __COUNTER__), \
+                            lhs, rexpr)
+
+}  // namespace ldl
+
+#endif  // LDLOPT_BASE_STATUS_H_

@@ -1,0 +1,48 @@
+#ifndef LDLOPT_BASE_STRINGS_H_
+#define LDLOPT_BASE_STRINGS_H_
+
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ldl {
+
+/// Concatenates the string representations of all arguments (ostream-based).
+template <typename... Args>
+std::string StrCat(const Args&... args) {
+  std::ostringstream os;
+  // void cast: with an empty pack the fold reduces to plain `os`.
+  static_cast<void>((os << ... << args));
+  return os.str();
+}
+
+/// Joins `parts` with `sep`, applying `fmt` to each element.
+template <typename Container, typename Formatter>
+std::string StrJoin(const Container& parts, std::string_view sep,
+                    Formatter fmt) {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& p : parts) {
+    if (!first) os << sep;
+    first = false;
+    os << fmt(p);
+  }
+  return os.str();
+}
+
+/// Joins string-like `parts` with `sep`.
+template <typename Container>
+std::string StrJoin(const Container& parts, std::string_view sep) {
+  return StrJoin(parts, sep, [](const auto& s) { return s; });
+}
+
+/// Splits `text` on `sep`, keeping empty pieces.
+std::vector<std::string> StrSplit(std::string_view text, char sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view text);
+
+}  // namespace ldl
+
+#endif  // LDLOPT_BASE_STRINGS_H_

@@ -1,0 +1,242 @@
+#include "engine/fixpoint.h"
+
+#include <algorithm>
+
+#include "base/strings.h"
+#include "graph/dependency_graph.h"
+
+namespace ldl {
+
+const char* RecursionMethodToString(RecursionMethod method) {
+  switch (method) {
+    case RecursionMethod::kNaive:
+      return "naive";
+    case RecursionMethod::kSemiNaive:
+      return "seminaive";
+    case RecursionMethod::kMagic:
+      return "magic";
+    case RecursionMethod::kCounting:
+      return "counting";
+  }
+  return "?";
+}
+
+std::string FixpointStats::ToString() const {
+  return StrCat("iterations=", iterations, " ", counters.ToString());
+}
+
+namespace {
+
+/// Shared machinery for evaluating one program bottom-up, one strongly
+/// connected component at a time.
+class ProgramEvaluator {
+ public:
+  ProgramEvaluator(const Program& program, RecursionMethod method,
+                   Database* base, Database* scratch, FixpointStats* stats,
+                   const FixpointOptions& options)
+      : program_(program),
+        method_(method),
+        base_(base),
+        scratch_(scratch),
+        stats_(stats),
+        options_(options) {}
+
+  Status Run() {
+    DependencyGraph graph = DependencyGraph::Build(program_);
+    LDL_RETURN_NOT_OK(graph.CheckStratified());
+    for (const auto& component : graph.topological_components()) {
+      // Ensure relations exist for every member up front.
+      for (const PredicateId& pred : component) scratch_->GetOrCreate(pred);
+      bool recursive = graph.IsRecursive(component[0]);
+      if (!recursive) {
+        LDL_RETURN_NOT_OK(EvaluateOnce(component[0]));
+      } else if (method_ == RecursionMethod::kNaive) {
+        LDL_RETURN_NOT_OK(EvaluateCliqueNaive(component, graph));
+      } else {
+        LDL_RETURN_NOT_OK(EvaluateCliqueSemiNaive(component, graph));
+      }
+    }
+    return Status::OK();
+  }
+
+ private:
+  Relation* Resolve(const Literal& lit) {
+    const PredicateId pred = lit.predicate();
+    if (program_.IsDerived(pred)) return scratch_->GetOrCreate(pred);
+    return base_->Find(pred);
+  }
+
+  RelationResolver MakeResolver() {
+    return [this](const Literal& lit, size_t) { return Resolve(lit); };
+  }
+
+  RuleEvalOptions OptionsForRule(size_t rule_index) const {
+    RuleEvalOptions opts;
+    opts.max_derivations = options_.max_derivations;
+    auto it = options_.rule_orders.find(rule_index);
+    if (it != options_.rule_orders.end()) opts.order = it->second;
+    return opts;
+  }
+
+  // Non-recursive predicate: fire each of its rules once.
+  Status EvaluateOnce(const PredicateId& pred) {
+    Relation* out = scratch_->GetOrCreate(pred);
+    RelationResolver resolve = MakeResolver();
+    for (size_t rule_index : program_.RulesFor(pred)) {
+      auto n = EvaluateRule(program_.rules()[rule_index], resolve, out,
+                            &stats_->counters, OptionsForRule(rule_index));
+      LDL_RETURN_NOT_OK(n.status());
+    }
+    return Status::OK();
+  }
+
+  // Naive fixpoint: every round re-fires every rule of the clique against
+  // the full current relations, until a round adds nothing.
+  Status EvaluateCliqueNaive(const std::vector<PredicateId>& members,
+                             const DependencyGraph& graph) {
+    const RecursiveClique& clique =
+        graph.cliques()[graph.CliqueIndex(members[0])];
+    RelationResolver resolve = MakeResolver();
+    std::vector<size_t> all_rules = clique.exit_rules;
+    all_rules.insert(all_rules.end(), clique.recursive_rules.begin(),
+                     clique.recursive_rules.end());
+    size_t round = 0;
+    while (true) {
+      if (++round > options_.max_iterations) {
+        return Status::ResourceExhausted(
+            StrCat("naive fixpoint exceeded ", options_.max_iterations,
+                   " iterations for ", clique.ToString()));
+      }
+      stats_->iterations++;
+      // Round-based: evaluate all rules into per-predicate temporaries,
+      // then merge, so each round sees exactly the previous round's state.
+      std::unordered_map<PredicateId, Relation, PredicateIdHash> temp;
+      for (const PredicateId& pred : members) {
+        temp.emplace(pred, Relation(pred.name, pred.arity));
+      }
+      for (size_t rule_index : all_rules) {
+        const Rule& rule = program_.rules()[rule_index];
+        auto n = EvaluateRule(rule, resolve, &temp.at(rule.head().predicate()),
+                              &stats_->counters, OptionsForRule(rule_index));
+        LDL_RETURN_NOT_OK(n.status());
+      }
+      size_t added = 0;
+      for (const PredicateId& pred : members) {
+        added += scratch_->GetOrCreate(pred)->InsertAll(temp.at(pred));
+      }
+      if (added == 0) break;
+    }
+    return Status::OK();
+  }
+
+  // Semi-naive fixpoint: exit rules once; then each round fires each
+  // recursive rule once per occurrence of a clique predicate in its body,
+  // with that occurrence reading the previous round's delta.
+  Status EvaluateCliqueSemiNaive(const std::vector<PredicateId>& members,
+                                 const DependencyGraph& graph) {
+    const RecursiveClique& clique =
+        graph.cliques()[graph.CliqueIndex(members[0])];
+
+    auto in_clique = [&clique](const Literal& lit) {
+      return !lit.IsBuiltin() && !lit.negated() &&
+             clique.Contains(lit.predicate());
+    };
+
+    std::unordered_map<PredicateId, Relation, PredicateIdHash> delta;
+    for (const PredicateId& pred : members) {
+      delta.emplace(pred, Relation(pred.name, pred.arity));
+    }
+
+    // Seed with the exit rules.
+    RelationResolver resolve = MakeResolver();
+    for (size_t rule_index : clique.exit_rules) {
+      const Rule& rule = program_.rules()[rule_index];
+      Relation temp(rule.head().predicate().name, rule.head().arity());
+      auto n = EvaluateRule(rule, resolve, &temp, &stats_->counters,
+                            OptionsForRule(rule_index));
+      LDL_RETURN_NOT_OK(n.status());
+      Relation* full = scratch_->GetOrCreate(rule.head().predicate());
+      Relation& d = delta.at(rule.head().predicate());
+      for (const Tuple& t : temp.tuples()) {
+        if (full->Insert(t)) d.Insert(t);
+      }
+    }
+
+    size_t round = 0;
+    while (true) {
+      if (++round > options_.max_iterations) {
+        return Status::ResourceExhausted(
+            StrCat("seminaive fixpoint exceeded ", options_.max_iterations,
+                   " iterations for ", clique.ToString()));
+      }
+      stats_->iterations++;
+      bool any_delta = std::any_of(
+          members.begin(), members.end(),
+          [&delta](const PredicateId& p) { return !delta.at(p).empty(); });
+      if (!any_delta) break;
+
+      std::unordered_map<PredicateId, Relation, PredicateIdHash> new_delta;
+      for (const PredicateId& pred : members) {
+        new_delta.emplace(pred, Relation(pred.name, pred.arity));
+      }
+
+      for (size_t rule_index : clique.recursive_rules) {
+        const Rule& rule = program_.rules()[rule_index];
+        // One differentiated firing per clique-predicate occurrence.
+        for (size_t occ = 0; occ < rule.body().size(); ++occ) {
+          if (!in_clique(rule.body()[occ])) continue;
+          RelationResolver diff_resolve =
+              [this, &delta, &in_clique, occ](const Literal& lit,
+                                              size_t body_pos) -> Relation* {
+            if (body_pos == occ && in_clique(lit)) {
+              return &delta.at(lit.predicate());
+            }
+            return Resolve(lit);
+          };
+          Relation temp(rule.head().predicate().name, rule.head().arity());
+          auto n = EvaluateRule(rule, diff_resolve, &temp, &stats_->counters,
+                                OptionsForRule(rule_index));
+          LDL_RETURN_NOT_OK(n.status());
+          Relation* full = scratch_->GetOrCreate(rule.head().predicate());
+          Relation& nd = new_delta.at(rule.head().predicate());
+          for (const Tuple& t : temp.tuples()) {
+            if (full->Insert(t)) nd.Insert(t);
+          }
+        }
+      }
+      delta = std::move(new_delta);
+    }
+    return Status::OK();
+  }
+
+  const Program& program_;
+  RecursionMethod method_;
+  Database* base_;
+  Database* scratch_;
+  FixpointStats* stats_;
+  const FixpointOptions& options_;
+};
+
+}  // namespace
+
+Status EvaluateProgram(const Program& program, RecursionMethod method,
+                       Database* base, Database* scratch,
+                       FixpointStats* stats, const FixpointOptions& options) {
+  if (method != RecursionMethod::kNaive &&
+      method != RecursionMethod::kSemiNaive) {
+    return Status::InvalidArgument(
+        StrCat("EvaluateProgram supports naive/seminaive, got ",
+               RecursionMethodToString(method),
+               " (use MagicRewrite/CountingRewrite first)"));
+  }
+  FixpointStats local;
+  ProgramEvaluator evaluator(program, method, base, scratch, &local, options);
+  Status st = evaluator.Run();
+  if (stats != nullptr) {
+    stats->iterations += local.iterations;
+    stats->counters.Add(local.counters);
+  }
+  return st;
+}
+
+}  // namespace ldl

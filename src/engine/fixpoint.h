@@ -1,0 +1,62 @@
+#ifndef LDLOPT_ENGINE_FIXPOINT_H_
+#define LDLOPT_ENGINE_FIXPOINT_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ast/program.h"
+#include "base/status.h"
+#include "engine/rule_eval.h"
+#include "storage/database.h"
+
+namespace ldl {
+
+/// The recursive-query implementation methods the optimizer chooses among
+/// at CC nodes (paper section 7.3): naive/seminaive fixpoint for free
+/// query forms, Magic Sets [BMSU 85] and generalized Counting [SZ 86] for
+/// bound query forms.
+enum class RecursionMethod {
+  kNaive,
+  kSemiNaive,
+  kMagic,
+  kCounting,
+};
+
+const char* RecursionMethodToString(RecursionMethod method);
+
+struct FixpointOptions {
+  /// Hard cap on fixpoint rounds per clique; tripping it means the program
+  /// is (or behaves) unsafe.
+  size_t max_iterations = 1'000'000;
+  /// Cap on derivations inside a single rule firing round.
+  size_t max_derivations = 200'000'000;
+  /// Body evaluation order per rule index (from the optimizer's chosen
+  /// permutations); missing entries use textual order.
+  std::unordered_map<size_t, std::vector<size_t>> rule_orders;
+};
+
+struct FixpointStats {
+  size_t iterations = 0;  ///< total fixpoint rounds across all cliques
+  EvalCounters counters;
+
+  std::string ToString() const;
+};
+
+/// Evaluates every derived predicate of `program` bottom-up into `scratch`.
+/// Base relations are read from `base`; derived relations are created in
+/// `scratch` (so repeated evaluations never pollute the fact base).
+/// `method` must be kNaive or kSemiNaive; the rewriting methods (magic,
+/// counting) are separate source-to-source transforms that then run
+/// semi-naive (see engine/magic.h, engine/counting.h).
+///
+/// The program must be stratified; strata are evaluated bottom-up so that
+/// negated literals always refer to completed relations.
+Status EvaluateProgram(const Program& program, RecursionMethod method,
+                       Database* base, Database* scratch,
+                       FixpointStats* stats,
+                       const FixpointOptions& options = {});
+
+}  // namespace ldl
+
+#endif  // LDLOPT_ENGINE_FIXPOINT_H_

@@ -1,0 +1,91 @@
+#include "engine/magic.h"
+
+#include <sstream>
+
+#include "base/strings.h"
+
+namespace ldl {
+
+std::string MagicProgram::ToString() const {
+  std::ostringstream os;
+  os << "% magic rewrite; seed " << seed.ToString() << ", answers in "
+     << answer_pred.ToString() << "\n";
+  os << rewritten.ToString();
+  return os.str();
+}
+
+PredicateId MagicPredicateId(const AdornedPredicate& ap) {
+  return {StrCat("magic.", ap.pred.name, ".", ap.adornment.ToString()),
+          ap.adornment.BoundCount()};
+}
+
+namespace {
+
+/// The magic literal for goal `goal` adorned with `adn`: the goal's
+/// argument terms at the bound positions.
+Literal MagicLiteral(const PredicateId& original, const Adornment& adn,
+                     const std::vector<Term>& goal_args) {
+  std::vector<Term> args;
+  args.reserve(adn.BoundCount());
+  for (size_t i = 0; i < adn.size(); ++i) {
+    if (adn.IsBound(i)) args.push_back(goal_args[i]);
+  }
+  return Literal::Make(MagicPredicateId({original, adn}).name,
+                       std::move(args));
+}
+
+}  // namespace
+
+Result<MagicProgram> MagicRewrite(const AdornedProgram& adorned) {
+  MagicProgram out;
+  out.answer_pred = adorned.query.RenamedId();
+  out.answer_goal =
+      adorned.query_goal.WithPredicateName(out.answer_pred.name);
+
+  // Seed: magic.q.a(query constants).
+  out.seed = MagicLiteral(adorned.query.pred, adorned.query.adornment,
+                          adorned.query_goal.args());
+  for (const Term& t : out.seed.args()) {
+    if (!t.IsGround()) {
+      return Status::Internal(
+          StrCat("magic seed has non-ground argument: ", t.ToString()));
+    }
+  }
+
+  for (const AdornedRule& ar : adorned.rules) {
+    const Literal& head = ar.renamed.head();
+    Literal guard =
+        MagicLiteral(ar.head_original, ar.head_adornment, head.args());
+
+    // Guarded rule: p.a(t) <- magic.p.a(t_b), body. A 0-ary magic guard
+    // acts as the demand flag for all-free subqueries.
+    std::vector<Literal> guarded_body;
+    guarded_body.reserve(ar.renamed.body().size() + 1);
+    guarded_body.push_back(guard);
+    for (const Literal& lit : ar.renamed.body()) guarded_body.push_back(lit);
+    out.rewritten.AddRule(Rule(head, std::move(guarded_body)));
+
+    // Magic rules: one per derived body literal. Negated occurrences carry
+    // the all-free adornment (their magic literal is a 0-ary demand flag:
+    // "compute this predicate in full before testing absence").
+    for (size_t j = 0; j < ar.renamed.body().size(); ++j) {
+      if (!ar.body_derived[j].has_value()) continue;
+      const Literal& body_lit = ar.renamed.body()[j];
+      Literal magic_head = MagicLiteral(*ar.body_derived[j],
+                                        ar.body_adornments[j],
+                                        body_lit.args());
+      std::vector<Literal> magic_body;
+      magic_body.reserve(j + 1);
+      magic_body.push_back(guard);
+      for (size_t k = 0; k < j; ++k) {
+        magic_body.push_back(ar.renamed.body()[k]);
+      }
+      out.rewritten.AddRule(Rule(std::move(magic_head),
+                                 std::move(magic_body)));
+    }
+  }
+
+  return out;
+}
+
+}  // namespace ldl

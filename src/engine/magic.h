@@ -1,0 +1,47 @@
+#ifndef LDLOPT_ENGINE_MAGIC_H_
+#define LDLOPT_ENGINE_MAGIC_H_
+
+#include <string>
+
+#include "ast/program.h"
+#include "base/status.h"
+#include "graph/adornment.h"
+
+namespace ldl {
+
+/// Result of the Magic Sets rewrite [BMSU 85] applied to an adorned program.
+struct MagicProgram {
+  /// The rewritten rule base: guarded original rules plus magic rules.
+  Program rewritten;
+  /// Seed fact: magic.q.a(constants of the query goal).
+  Literal seed;
+  /// The (renamed) predicate holding the query's answers, e.g. sg.bf/2.
+  PredicateId answer_pred;
+  /// The query goal re-targeted at answer_pred (same argument terms).
+  Literal answer_goal;
+
+  std::string ToString() const;
+};
+
+/// Magic-set name for an adorned predicate: magic.sg.bf with one argument
+/// per bound position.
+PredicateId MagicPredicateId(const AdornedPredicate& ap);
+
+/// Applies the (generalized, supplementary-free) Magic Sets transformation:
+/// for each adorned rule `p.a(t) <- l1, ..., ln` (already in SIP order),
+/// produce
+///   p.a(t) <- magic.p.a(t_bound), l1, ..., ln.
+/// and for each positive derived body literal `q.b` at position j
+///   magic.q.b(s_bound) <- magic.p.a(t_bound), l1, ..., l_{j-1}.
+/// The query's constants seed magic.q0.a0. Evaluating the rewritten program
+/// (semi-naively) computes only the facts relevant to the query.
+///
+/// Negated derived body literals are not given magic rules; they are
+/// required to be fully bound at their body position (checked by the safety
+/// analysis), so guarding them would be redundant — their predicates are
+/// computed in full within their (lower) stratum.
+Result<MagicProgram> MagicRewrite(const AdornedProgram& adorned);
+
+}  // namespace ldl
+
+#endif  // LDLOPT_ENGINE_MAGIC_H_

@@ -1,0 +1,215 @@
+#include "engine/query_eval.h"
+
+#include <set>
+
+#include "base/strings.h"
+#include "engine/counting.h"
+#include "engine/magic.h"
+#include "engine/unify.h"
+#include "graph/dependency_graph.h"
+
+namespace ldl {
+
+Program ReachableSubprogram(const Program& program, const Literal& goal,
+                            std::vector<size_t>* index_map) {
+  std::set<PredicateId> reachable;
+  std::vector<PredicateId> stack;
+  if (program.IsDerived(goal.predicate())) {
+    reachable.insert(goal.predicate());
+    stack.push_back(goal.predicate());
+  }
+  while (!stack.empty()) {
+    PredicateId pred = stack.back();
+    stack.pop_back();
+    for (size_t rule_index : program.RulesFor(pred)) {
+      for (const Literal& lit : program.rules()[rule_index].body()) {
+        if (lit.IsBuiltin()) continue;
+        PredicateId p = lit.predicate();
+        if (program.IsDerived(p) && reachable.insert(p).second) {
+          stack.push_back(p);
+        }
+      }
+    }
+  }
+  Program out;
+  for (size_t i = 0; i < program.rules().size(); ++i) {
+    const Rule& rule = program.rules()[i];
+    if (reachable.count(rule.head().predicate())) {
+      out.AddRule(rule);
+      if (index_map != nullptr) index_map->push_back(i);
+    }
+  }
+  return out;
+}
+
+Relation SelectMatching(Relation* rel, const Literal& goal) {
+  Relation out("answers", goal.arity());
+  if (rel == nullptr) return out;
+  // Index on the ground positions of the goal.
+  std::vector<int> bound_cols;
+  Tuple key;
+  for (size_t i = 0; i < goal.arity(); ++i) {
+    if (goal.args()[i].IsGround()) {
+      bound_cols.push_back(static_cast<int>(i));
+      key.push_back(goal.args()[i]);
+    }
+  }
+  auto consider = [&out, &goal](const Tuple& t) {
+    Substitution subst;
+    bool ok = true;
+    for (size_t i = 0; i < goal.arity(); ++i) {
+      if (!Unify(goal.args()[i], t[i], &subst)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) out.Insert(t);
+  };
+  if (!bound_cols.empty()) {
+    for (uint32_t id : rel->Lookup(bound_cols, key)) {
+      consider(rel->tuple(id));
+    }
+  } else {
+    for (const Tuple& t : rel->tuples()) consider(t);
+  }
+  return out;
+}
+
+namespace {
+
+Result<QueryResult> EvaluateFull(const Program& program, Database* base,
+                                 const Literal& goal, RecursionMethod method,
+                                 const QueryEvalOptions& options) {
+  QueryResult result;
+  result.method_used = method;
+  std::vector<size_t> index_map;
+  Program sub = ReachableSubprogram(program, goal, &index_map);
+  // options.fixpoint.rule_orders is keyed by indices into the *original*
+  // program; remap to the subprogram's indices.
+  FixpointOptions fixpoint = options.fixpoint;
+  fixpoint.rule_orders.clear();
+  for (size_t sub_index = 0; sub_index < index_map.size(); ++sub_index) {
+    auto it = options.fixpoint.rule_orders.find(index_map[sub_index]);
+    if (it != options.fixpoint.rule_orders.end()) {
+      fixpoint.rule_orders[sub_index] = it->second;
+    }
+  }
+  Database scratch;
+  LDL_RETURN_NOT_OK(EvaluateProgram(sub, method, base, &scratch,
+                                    &result.stats, fixpoint));
+  result.answers = SelectMatching(scratch.Find(goal.predicate()), goal);
+  return result;
+}
+
+Result<QueryResult> EvaluateMagic(const Program& program, Database* base,
+                                  const Literal& goal,
+                                  const QueryEvalOptions& options) {
+  QueryResult result;
+  result.method_used = RecursionMethod::kMagic;
+  // Adornment itself only visits rules reachable from the goal, and
+  // options.sips is keyed by original rule indices — adorn the original
+  // program directly.
+  LDL_ASSIGN_OR_RETURN(AdornedProgram adorned,
+                       AdornProgramForQuery(program, goal, options.sips));
+  LDL_ASSIGN_OR_RETURN(MagicProgram magic, MagicRewrite(adorned));
+
+  // Install the seed as a bodiless rule so its predicate counts as derived
+  // (EvaluateProgram reads non-derived predicates from `base`).
+  magic.rewritten.AddRule(Rule(magic.seed, {}));
+  Database scratch;
+  // The SIP orders are already baked into the rewritten rule bodies;
+  // rule_orders keyed by original-program indices must not leak through.
+  FixpointOptions fixpoint = options.fixpoint;
+  fixpoint.rule_orders.clear();
+  LDL_RETURN_NOT_OK(EvaluateProgram(magic.rewritten,
+                                    RecursionMethod::kSemiNaive, base,
+                                    &scratch, &result.stats, fixpoint));
+  result.answers =
+      SelectMatching(scratch.Find(magic.answer_pred), magic.answer_goal);
+  return result;
+}
+
+Result<QueryResult> EvaluateCounting(const Program& program, Database* base,
+                                     const Literal& goal,
+                                     const QueryEvalOptions& options) {
+  auto rewritten = CountingRewrite(program, goal);
+  if (!rewritten.ok()) {
+    if (options.counting_fallback &&
+        rewritten.status().code() == StatusCode::kUnsupported) {
+      LDL_ASSIGN_OR_RETURN(QueryResult result,
+                           EvaluateMagic(program, base, goal, options));
+      result.note = StrCat("counting inapplicable (",
+                           rewritten.status().message(),
+                           "); fell back to magic");
+      return result;
+    }
+    return rewritten.status();
+  }
+  CountingProgram counting = std::move(rewritten).value();
+  counting.rewritten.AddRule(Rule(counting.seed, {}));
+
+  QueryResult result;
+  result.method_used = RecursionMethod::kCounting;
+  Database scratch;
+  FixpointOptions fixpoint = options.fixpoint;
+  fixpoint.rule_orders.clear();
+  Status st = EvaluateProgram(counting.rewritten, RecursionMethod::kSemiNaive,
+                              base, &scratch, &result.stats, fixpoint);
+  if (!st.ok()) {
+    if (options.counting_fallback &&
+        st.code() == StatusCode::kResourceExhausted) {
+      LDL_ASSIGN_OR_RETURN(QueryResult fallback,
+                           EvaluateMagic(program, base, goal, options));
+      fallback.note =
+          StrCat("counting diverged (", st.message(), "); fell back to magic");
+      return fallback;
+    }
+    return st;
+  }
+  // Answers: project the counter away; re-attach the goal's constants.
+  Relation matched = SelectMatching(scratch.Find(counting.answer_pred),
+                                    counting.answer_goal);
+  Relation answers("answers", goal.arity());
+  const Adornment adn = Adornment::FromGoal(goal);
+  for (const Tuple& t : matched.tuples()) {
+    Tuple full;
+    full.reserve(goal.arity());
+    size_t free_idx = 1;  // t[0] is the counter (= 0)
+    for (size_t i = 0; i < goal.arity(); ++i) {
+      if (adn.IsBound(i)) {
+        full.push_back(goal.args()[i]);
+      } else {
+        full.push_back(t[free_idx++]);
+      }
+    }
+    answers.Insert(std::move(full));
+  }
+  result.answers = std::move(answers);
+  return result;
+}
+
+}  // namespace
+
+Result<QueryResult> EvaluateQuery(const Program& program, Database* base,
+                                  const Literal& goal, RecursionMethod method,
+                                  const QueryEvalOptions& options) {
+  if (!program.IsDerived(goal.predicate())) {
+    // A pure base-relation query needs no rules.
+    QueryResult result;
+    result.method_used = method;
+    result.answers = SelectMatching(base->Find(goal.predicate()), goal);
+    return result;
+  }
+  switch (method) {
+    case RecursionMethod::kNaive:
+    case RecursionMethod::kSemiNaive:
+      return EvaluateFull(program, base, goal, method, options);
+    case RecursionMethod::kMagic:
+      return EvaluateMagic(program, base, goal, options);
+    case RecursionMethod::kCounting:
+      return EvaluateCounting(program, base, goal, options);
+  }
+  return Status::Internal("unknown recursion method");
+}
+
+}  // namespace ldl

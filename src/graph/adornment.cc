@@ -1,0 +1,116 @@
+#include "graph/adornment.h"
+
+#include <deque>
+#include <set>
+#include <sstream>
+
+#include "base/strings.h"
+
+namespace ldl {
+
+void SipStrategy::SetOrder(size_t rule_index, std::vector<size_t> order) {
+  orders_[rule_index] = std::move(order);
+}
+
+void SipStrategy::SetOrderForAdornment(size_t rule_index, const Adornment& adn,
+                                       std::vector<size_t> order) {
+  adorned_orders_[{rule_index, adn.ToString()}] = std::move(order);
+}
+
+std::vector<size_t> SipStrategy::OrderFor(size_t rule_index, size_t body_size,
+                                          const Adornment& head_adn) const {
+  auto ait = adorned_orders_.find({rule_index, head_adn.ToString()});
+  if (ait != adorned_orders_.end()) return ait->second;
+  auto it = orders_.find(rule_index);
+  if (it != orders_.end()) return it->second;
+  std::vector<size_t> identity(body_size);
+  for (size_t i = 0; i < body_size; ++i) identity[i] = i;
+  return identity;
+}
+
+std::string AdornedRule::ToString() const { return renamed.ToString(); }
+
+std::string AdornedProgram::ToString() const {
+  std::ostringstream os;
+  os << "% adorned program for " << query.ToString() << "\n";
+  for (const AdornedRule& r : rules) os << r.ToString() << "\n";
+  return os.str();
+}
+
+Result<AdornedProgram> AdornProgramForQuery(const Program& program,
+                                            const Literal& query_goal,
+                                            const SipStrategy& sips) {
+  if (!program.IsDerived(query_goal.predicate())) {
+    return Status::InvalidArgument(
+        StrCat("query predicate ", query_goal.predicate().ToString(),
+               " is not defined by any rule"));
+  }
+
+  AdornedProgram out;
+  out.query = {query_goal.predicate(), Adornment::FromGoal(query_goal)};
+  out.query_goal = query_goal;
+
+  std::set<AdornedPredicate> marked;
+  std::deque<AdornedPredicate> worklist;
+  worklist.push_back(out.query);
+  marked.insert(out.query);
+  out.predicates.push_back(out.query);
+
+  while (!worklist.empty()) {
+    AdornedPredicate ap = worklist.front();
+    worklist.pop_front();
+
+    for (size_t rule_index : program.RulesFor(ap.pred)) {
+      const Rule& rule = program.rules()[rule_index];
+      std::vector<size_t> order =
+          sips.OrderFor(rule_index, rule.body().size(), ap.adornment);
+
+      AdornedRule adorned;
+      adorned.rule_index = rule_index;
+      adorned.head_original = rule.head().predicate();
+      adorned.head_adornment = ap.adornment;
+      adorned.body_order = order;
+
+      BoundVars bound;
+      BindHeadVariables(rule.head(), ap.adornment, &bound);
+
+      std::vector<Literal> new_body;
+      new_body.reserve(rule.body().size());
+      for (size_t pos : order) {
+        const Literal& lit = rule.body()[pos];
+        Adornment lit_adn = AdornLiteral(lit, bound);
+        // A negated derived literal must see the *complete* relation for
+        // its stratum: binding restriction under negation would change the
+        // meaning (absence in a magic-restricted set is not absence). Use
+        // the all-free adornment; the magic rewrite then emits a 0-ary
+        // demand flag for it.
+        if (lit.negated()) lit_adn = Adornment::AllFree(lit.arity());
+        Literal renamed = lit;
+        std::optional<PredicateId> derived_pred;
+        if (!lit.IsBuiltin() && program.IsDerived(lit.predicate())) {
+          derived_pred = lit.predicate();
+          AdornedPredicate body_ap{lit.predicate(), lit_adn};
+          renamed = lit.WithPredicateName(body_ap.RenamedId().name);
+          if (marked.insert(body_ap).second) {
+            worklist.push_back(body_ap);
+            out.predicates.push_back(body_ap);
+          }
+        }
+        adorned.body_derived.push_back(derived_pred);
+        adorned.body_adornments.push_back(lit_adn);
+        new_body.push_back(std::move(renamed));
+        PropagateBindings(lit, &bound);
+      }
+
+      AdornedPredicate head_ap{rule.head().predicate(), ap.adornment};
+      Literal new_head =
+          rule.head().WithPredicateName(head_ap.RenamedId().name);
+      adorned.renamed = Rule(std::move(new_head), std::move(new_body));
+      out.rules.push_back(std::move(adorned));
+    }
+  }
+
+  return out;
+}
+
+}  // namespace ldl

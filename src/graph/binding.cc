@@ -1,0 +1,107 @@
+#include "graph/binding.h"
+
+#include "base/strings.h"
+
+namespace ldl {
+
+Adornment Adornment::AllBound(size_t arity) {
+  Adornment a(arity);
+  for (size_t i = 0; i < arity; ++i) a.bound_[i] = true;
+  return a;
+}
+
+Adornment Adornment::FromGoal(const Literal& goal) {
+  Adornment a(goal.arity());
+  for (size_t i = 0; i < goal.arity(); ++i) {
+    a.bound_[i] = goal.args()[i].IsGround();
+  }
+  return a;
+}
+
+Result<Adornment> Adornment::FromString(const std::string& text) {
+  Adornment a(text.size());
+  for (size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == 'b') {
+      a.bound_[i] = true;
+    } else if (text[i] != 'f') {
+      return Status::InvalidArgument(
+          StrCat("bad adornment '", text, "': expected only 'b'/'f'"));
+    }
+  }
+  return a;
+}
+
+size_t Adornment::BoundCount() const {
+  size_t n = 0;
+  for (bool b : bound_) n += b ? 1 : 0;
+  return n;
+}
+
+std::string Adornment::ToString() const {
+  std::string s;
+  s.reserve(bound_.size());
+  for (bool b : bound_) s += b ? 'b' : 'f';
+  return s;
+}
+
+size_t Adornment::Hash() const {
+  size_t seed = bound_.size();
+  for (bool b : bound_) HashCombine(&seed, b ? 2 : 1);
+  return seed;
+}
+
+PredicateId AdornedPredicate::RenamedId() const {
+  if (adornment.AllArgsFree()) return pred;
+  return {StrCat(pred.name, ".", adornment.ToString()), pred.arity};
+}
+
+std::string AdornedPredicate::ToString() const {
+  return StrCat(pred.name, ".", adornment.ToString(), "/", pred.arity);
+}
+
+bool BoundVars::IsTermBound(const Term& t) const {
+  std::vector<std::string> vars;
+  t.CollectVariables(&vars);
+  for (const std::string& v : vars) {
+    if (!IsBound(v)) return false;
+  }
+  return true;
+}
+
+void BoundVars::BindTerm(const Term& t) {
+  std::vector<std::string> vars;
+  t.CollectVariables(&vars);
+  for (const std::string& v : vars) Bind(v);
+}
+
+Adornment AdornLiteral(const Literal& lit, const BoundVars& bound) {
+  Adornment a(lit.arity());
+  for (size_t i = 0; i < lit.arity(); ++i) {
+    a.SetBound(i, bound.IsTermBound(lit.args()[i]));
+  }
+  return a;
+}
+
+void PropagateBindings(const Literal& lit, BoundVars* bound) {
+  if (lit.negated()) return;
+  if (!lit.IsBuiltin()) {
+    for (const Term& a : lit.args()) bound->BindTerm(a);
+    return;
+  }
+  if (lit.builtin() == BuiltinKind::kEq) {
+    const Term& lhs = lit.args()[0];
+    const Term& rhs = lit.args()[1];
+    if (bound->IsTermBound(rhs)) bound->BindTerm(lhs);
+    if (bound->IsTermBound(lhs)) bound->BindTerm(rhs);
+  }
+  // Other comparisons test values; they produce no bindings.
+}
+
+void BindHeadVariables(const Literal& goal, const Adornment& adn,
+                       BoundVars* bound) {
+  for (size_t i = 0; i < goal.arity() && i < adn.size(); ++i) {
+    if (adn.IsBound(i)) bound->BindTerm(goal.args()[i]);
+  }
+}
+
+}  // namespace ldl

@@ -1,0 +1,118 @@
+#ifndef LDLOPT_GRAPH_BINDING_H_
+#define LDLOPT_GRAPH_BINDING_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ast/literal.h"
+#include "ast/term.h"
+#include "base/status.h"
+
+namespace ldl {
+
+/// A binding pattern (adornment): one bound/free flag per argument position.
+/// `sg.bf` means first argument bound, second free (paper sections 2, 7.3).
+class Adornment {
+ public:
+  Adornment() = default;
+  /// All-free adornment of the given arity.
+  explicit Adornment(size_t arity) : bound_(arity, false) {}
+
+  static Adornment AllFree(size_t arity) { return Adornment(arity); }
+  static Adornment AllBound(size_t arity);
+  /// From a goal literal: an argument is bound iff it is ground.
+  static Adornment FromGoal(const Literal& goal);
+  /// From "bf"-style text.
+  static Result<Adornment> FromString(const std::string& text);
+
+  size_t size() const { return bound_.size(); }
+  bool IsBound(size_t i) const { return bound_[i]; }
+  void SetBound(size_t i, bool b) { bound_[i] = b; }
+  size_t BoundCount() const;
+  bool AllArgsFree() const { return BoundCount() == 0; }
+  bool AllArgsBound() const { return BoundCount() == size(); }
+
+  /// "bf", "bbf", ... ; empty adornment renders as "".
+  std::string ToString() const;
+
+  bool operator==(const Adornment& other) const {
+    return bound_ == other.bound_;
+  }
+  bool operator!=(const Adornment& other) const { return !(*this == other); }
+  bool operator<(const Adornment& other) const { return bound_ < other.bound_; }
+
+  size_t Hash() const;
+
+ private:
+  std::vector<bool> bound_;
+};
+
+/// A predicate tagged with an adornment, e.g. sg/2 with "bf".
+struct AdornedPredicate {
+  PredicateId pred;
+  Adornment adornment;
+
+  /// The renamed predicate used in adorned/rewritten programs: "sg.bf"/2.
+  /// For an all-free adornment the original name is kept.
+  PredicateId RenamedId() const;
+
+  bool operator==(const AdornedPredicate& other) const {
+    return pred == other.pred && adornment == other.adornment;
+  }
+  bool operator<(const AdornedPredicate& other) const {
+    if (pred != other.pred) return pred < other.pred;
+    return adornment < other.adornment;
+  }
+
+  std::string ToString() const;
+};
+
+struct AdornedPredicateHash {
+  size_t operator()(const AdornedPredicate& ap) const {
+    size_t seed = PredicateIdHash{}(ap.pred);
+    HashCombine(&seed, ap.adornment.Hash());
+    return seed;
+  }
+};
+
+/// The set of variables known to be bound at some point of a left-to-right
+/// (SIP-ordered) walk over a rule body. This is the engine of sideways
+/// information passing: literals consume bindings and produce new ones.
+class BoundVars {
+ public:
+  BoundVars() = default;
+
+  bool IsBound(const std::string& var) const { return vars_.count(var) > 0; }
+  void Bind(const std::string& var) { vars_.insert(var); }
+
+  /// True iff every variable in `t` is bound (ground terms qualify).
+  bool IsTermBound(const Term& t) const;
+  /// Marks every variable in `t` bound.
+  void BindTerm(const Term& t);
+
+  size_t size() const { return vars_.size(); }
+
+ private:
+  std::set<std::string> vars_;
+};
+
+/// Adornment of `lit` under the current bindings: argument i is bound iff
+/// all its variables are bound (constants are always bound).
+Adornment AdornLiteral(const Literal& lit, const BoundVars& bound);
+
+/// Updates `bound` with the bindings produced by evaluating `lit`:
+///  - positive non-builtin literal: all its variables become bound;
+///  - `=` builtin: if one side is fully bound, the other side's variables
+///    become bound (one direction per call; callers walking a body in order
+///    get exactly SIP semantics);
+///  - other comparisons and negated literals produce no bindings.
+void PropagateBindings(const Literal& lit, BoundVars* bound);
+
+/// Binds the variables in the bound argument positions of `goal` per `adn`.
+void BindHeadVariables(const Literal& goal, const Adornment& adn,
+                       BoundVars* bound);
+
+}  // namespace ldl
+
+#endif  // LDLOPT_GRAPH_BINDING_H_

@@ -1,0 +1,302 @@
+#include "graph/dependency_graph.h"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+#include <sstream>
+
+#include "base/strings.h"
+
+namespace ldl {
+
+bool RecursiveClique::Contains(const PredicateId& pred) const {
+  return std::find(predicates.begin(), predicates.end(), pred) !=
+         predicates.end();
+}
+
+std::string RecursiveClique::ToString() const {
+  return StrCat(
+      "clique{",
+      StrJoin(predicates, ", ", [](const PredicateId& p) { return p.ToString(); }),
+      " | ", recursive_rules.size(), " recursive, ", exit_rules.size(),
+      " exit rules}");
+}
+
+namespace {
+
+/// Tarjan's strongly-connected-components algorithm over the predicate
+/// dependency graph (iterative-friendly sizes here: recursion is fine).
+class Tarjan {
+ public:
+  using Graph =
+      std::unordered_map<PredicateId, std::vector<PredicateId>, PredicateIdHash>;
+
+  explicit Tarjan(const Graph& graph) : graph_(graph) {}
+
+  /// Returns components in reverse topological order of the condensation
+  /// (i.e., a component is emitted after everything it depends on... Tarjan
+  /// emits components such that successors are emitted first).
+  std::vector<std::vector<PredicateId>> Run() {
+    for (const auto& [node, _] : graph_) {
+      if (!index_.count(node)) Visit(node);
+    }
+    return components_;
+  }
+
+ private:
+  void Visit(const PredicateId& v) {
+    index_[v] = lowlink_[v] = counter_++;
+    stack_.push_back(v);
+    on_stack_.insert(v);
+    auto it = graph_.find(v);
+    if (it != graph_.end()) {
+      for (const PredicateId& w : it->second) {
+        if (!graph_.count(w)) continue;  // edge to base predicate: ignore
+        if (!index_.count(w)) {
+          Visit(w);
+          lowlink_[v] = std::min(lowlink_[v], lowlink_[w]);
+        } else if (on_stack_.count(w)) {
+          lowlink_[v] = std::min(lowlink_[v], index_[w]);
+        }
+      }
+    }
+    if (lowlink_[v] == index_[v]) {
+      std::vector<PredicateId> component;
+      while (true) {
+        PredicateId w = stack_.back();
+        stack_.pop_back();
+        on_stack_.erase(w);
+        component.push_back(w);
+        if (w == v) break;
+      }
+      components_.push_back(std::move(component));
+    }
+  }
+
+  const Graph& graph_;
+  std::unordered_map<PredicateId, int, PredicateIdHash> index_;
+  std::unordered_map<PredicateId, int, PredicateIdHash> lowlink_;
+  std::vector<PredicateId> stack_;
+  std::set<PredicateId> on_stack_;
+  std::vector<std::vector<PredicateId>> components_;
+  int counter_ = 0;
+};
+
+}  // namespace
+
+DependencyGraph DependencyGraph::Build(const Program& program) {
+  DependencyGraph g;
+  g.program_ = &program;
+
+  // Edges body-pred -> head-pred, restricted to derived predicates.
+  Tarjan::Graph graph;
+  for (const PredicateId& pred : program.DerivedPredicates()) {
+    graph[pred];  // ensure node exists
+  }
+  // We also need the reverse direction (head -> body) for stratification and
+  // reachability; store rule-derived adjacency head -> body preds.
+  std::unordered_map<PredicateId, std::vector<PredicateId>, PredicateIdHash>
+      uses;  // head -> derived body predicates
+  std::unordered_map<PredicateId, std::vector<PredicateId>, PredicateIdHash>
+      uses_negated;  // head -> negated derived body predicates
+  for (const Rule& rule : program.rules()) {
+    const PredicateId head = rule.head().predicate();
+    for (const Literal& lit : rule.body()) {
+      if (lit.IsBuiltin()) continue;
+      const PredicateId body_pred = lit.predicate();
+      if (!program.IsDerived(body_pred)) continue;
+      graph[body_pred].push_back(head);
+      uses[head].push_back(body_pred);
+      if (lit.negated()) uses_negated[head].push_back(body_pred);
+    }
+  }
+
+  // SCCs. Tarjan emits a component only after all components it can reach
+  // (its successors = predicates it is used to define) have been emitted...
+  // Actually Tarjan emits components in reverse topological order of the
+  // condensation: a component is emitted before any component that can reach
+  // it. With edges body->head, the first emitted components are the "top"
+  // queries. We therefore reverse to get bottom-up order.
+  Tarjan tarjan(graph);
+  std::vector<std::vector<PredicateId>> components = tarjan.Run();
+  // Determine component ids.
+  for (size_t c = 0; c < components.size(); ++c) {
+    for (const PredicateId& pred : components[c]) {
+      g.nodes_[pred].component = static_cast<int>(c);
+    }
+  }
+
+  // A component is a recursive clique if it has >1 member or a self-loop.
+  g.component_clique_.assign(components.size(), -1);
+  for (size_t c = 0; c < components.size(); ++c) {
+    bool recursive = components[c].size() > 1;
+    if (!recursive) {
+      const PredicateId& p = components[c][0];
+      auto it = uses.find(p);
+      if (it != uses.end() &&
+          std::find(it->second.begin(), it->second.end(), p) !=
+              it->second.end()) {
+        recursive = true;
+      }
+    }
+    if (!recursive) continue;
+    RecursiveClique clique;
+    clique.predicates = components[c];
+    std::sort(clique.predicates.begin(), clique.predicates.end());
+    for (size_t ri = 0; ri < program.rules().size(); ++ri) {
+      const Rule& rule = program.rules()[ri];
+      if (!clique.Contains(rule.head().predicate())) continue;
+      bool rec = false;
+      for (const Literal& lit : rule.body()) {
+        if (!lit.IsBuiltin() && clique.Contains(lit.predicate())) {
+          rec = true;
+          break;
+        }
+      }
+      (rec ? clique.recursive_rules : clique.exit_rules).push_back(ri);
+    }
+    g.component_clique_[c] = static_cast<int>(g.cliques_.size());
+    g.cliques_.push_back(std::move(clique));
+  }
+
+  // Bottom-up topological order: process components in emission order;
+  // with body->head edges Tarjan emits sinks of the condensation first,
+  // where sinks are the most-derived (query-level) predicates. Hence
+  // reversed emission order is NOT bottom-up; verify: edge body->head means
+  // head is reachable from body; Tarjan emits a component when its subtree
+  // completes, so successors (heads) are emitted before... Successors are
+  // emitted first only when discovered from the body. To be robust we
+  // compute an explicit Kahn topological sort of the condensation instead.
+  {
+    size_t nc = components.size();
+    std::vector<std::set<int>> cond_edges(nc);  // comp(body) -> comp(head)
+    std::vector<int> indegree(nc, 0);
+    for (const auto& [body_pred, heads] : graph) {
+      int cb = g.nodes_[body_pred].component;
+      for (const PredicateId& head : heads) {
+        int ch = g.nodes_[head].component;
+        if (cb != ch && cond_edges[cb].insert(ch).second) ++indegree[ch];
+      }
+    }
+    std::vector<int> ready;
+    for (size_t c = 0; c < nc; ++c) {
+      if (indegree[c] == 0) ready.push_back(static_cast<int>(c));
+    }
+    std::vector<int> order;
+    while (!ready.empty()) {
+      int c = ready.back();
+      ready.pop_back();
+      order.push_back(c);
+      for (int d : cond_edges[c]) {
+        if (--indegree[d] == 0) ready.push_back(d);
+      }
+    }
+    for (int c : order) {
+      std::vector<PredicateId> sorted = components[c];
+      std::sort(sorted.begin(), sorted.end());
+      for (const PredicateId& pred : sorted) g.topo_order_.push_back(pred);
+      g.topo_components_.push_back(std::move(sorted));
+    }
+  }
+
+  // Strata: stratum(head) >= stratum(body), and > for negated bodies.
+  // Iterate to fixpoint over the topological order; detect non-stratified
+  // programs (negation inside an SCC).
+  for (const Rule& rule : program.rules()) {
+    const PredicateId head = rule.head().predicate();
+    for (const Literal& lit : rule.body()) {
+      if (lit.IsBuiltin() || !lit.negated()) continue;
+      const PredicateId body_pred = lit.predicate();
+      if (!program.IsDerived(body_pred)) continue;
+      if (g.nodes_[body_pred].component == g.nodes_[head].component) {
+        g.stratified_ = Status::InvalidArgument(
+            StrCat("program is not stratified: ", head.ToString(),
+                   " depends on the negation of ", body_pred.ToString(),
+                   " within the same recursive clique"));
+      }
+    }
+  }
+  if (g.stratified_.ok()) {
+    bool changed = true;
+    int guard = 0;
+    while (changed && guard++ < 1000) {
+      changed = false;
+      for (const Rule& rule : program.rules()) {
+        const PredicateId head = rule.head().predicate();
+        int& hs = g.nodes_[head].stratum;
+        for (const Literal& lit : rule.body()) {
+          if (lit.IsBuiltin()) continue;
+          const PredicateId body_pred = lit.predicate();
+          if (!program.IsDerived(body_pred)) continue;
+          int bs = g.nodes_[body_pred].stratum;
+          int need = lit.negated() ? bs + 1 : bs;
+          if (hs < need) {
+            hs = need;
+            changed = true;
+          }
+        }
+      }
+    }
+  }
+
+  // Transitive dependencies (derived predicates only) via DFS from each node
+  // over head->body edges.
+  for (const PredicateId& pred : program.DerivedPredicates()) {
+    std::set<PredicateId> visited;
+    std::vector<PredicateId> stack{pred};
+    while (!stack.empty()) {
+      PredicateId cur = stack.back();
+      stack.pop_back();
+      auto it = uses.find(cur);
+      if (it == uses.end()) continue;
+      for (const PredicateId& next : it->second) {
+        if (visited.insert(next).second) stack.push_back(next);
+      }
+    }
+    g.depends_[pred] = std::vector<PredicateId>(visited.begin(), visited.end());
+  }
+
+  return g;
+}
+
+bool DependencyGraph::IsRecursive(const PredicateId& pred) const {
+  return CliqueIndex(pred) >= 0;
+}
+
+int DependencyGraph::CliqueIndex(const PredicateId& pred) const {
+  auto it = nodes_.find(pred);
+  if (it == nodes_.end() || it->second.component < 0) return -1;
+  return component_clique_[it->second.component];
+}
+
+int DependencyGraph::Stratum(const PredicateId& pred) const {
+  auto it = nodes_.find(pred);
+  return it == nodes_.end() ? 0 : it->second.stratum;
+}
+
+Status DependencyGraph::CheckStratified() const { return stratified_; }
+
+bool DependencyGraph::DependsOn(const PredicateId& user,
+                                const PredicateId& used) const {
+  auto it = depends_.find(user);
+  if (it == depends_.end()) return false;
+  return std::find(it->second.begin(), it->second.end(), used) !=
+         it->second.end();
+}
+
+std::string DependencyGraph::ToString() const {
+  std::ostringstream os;
+  os << "derived (bottom-up):";
+  for (const PredicateId& pred : topo_order_) {
+    os << ' ' << pred.ToString();
+    int ci = CliqueIndex(pred);
+    if (ci >= 0) os << "[C" << ci << "]";
+  }
+  os << "\n";
+  for (size_t i = 0; i < cliques_.size(); ++i) {
+    os << "C" << i << ": " << cliques_[i].ToString() << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace ldl

@@ -1,0 +1,148 @@
+#include "ldl/ldl.h"
+
+#include "base/strings.h"
+#include "optimizer/project_pushdown.h"
+
+namespace ldl {
+
+LdlSystem::LdlSystem(OptimizerOptions options)
+    : options_(std::move(options)) {}
+
+Status LdlSystem::LoadProgram(std::string_view text) {
+  LDL_ASSIGN_OR_RETURN(Program parsed, ParseProgram(text));
+  return Ingest(std::move(parsed));
+}
+
+Status LdlSystem::AddClause(std::string_view text) {
+  return LoadProgram(text);
+}
+
+Status LdlSystem::Ingest(Program parsed) {
+  for (const Literal& fact : parsed.facts()) {
+    LDL_RETURN_NOT_OK(db_.AddFact(fact));
+  }
+  for (const Rule& rule : parsed.rules()) {
+    program_.AddRule(rule);
+  }
+  for (const QueryForm& query : parsed.queries()) {
+    program_.AddQuery(query);
+  }
+  LDL_RETURN_NOT_OK(program_.Validate());
+  stats_dirty_ = true;
+  return Status::OK();
+}
+
+void LdlSystem::RefreshStatistics() {
+  stats_ = Statistics::Collect(db_);
+  stats_dirty_ = false;
+}
+
+const Statistics& LdlSystem::statistics() {
+  if (stats_dirty_) RefreshStatistics();
+  return stats_;
+}
+
+Result<QueryPlan> LdlSystem::Plan(std::string_view goal_text) {
+  LDL_ASSIGN_OR_RETURN(Literal goal, ParseLiteral(goal_text));
+  return Plan(goal);
+}
+
+Result<Program> LdlSystem::EffectiveProgram(const Literal& goal) const {
+  if (options_.push_projections && program_.IsDerived(goal.predicate())) {
+    auto projected = PushProjections(program_, goal);
+    if (projected.ok()) return std::move(projected->rewritten);
+  }
+  return program_;
+}
+
+Result<QueryPlan> LdlSystem::Plan(const Literal& goal) {
+  if (stats_dirty_) RefreshStatistics();
+  LDL_ASSIGN_OR_RETURN(Program working, EffectiveProgram(goal));
+  Optimizer optimizer(working, stats_, options_);
+  return optimizer.Optimize(goal);
+}
+
+Result<QueryAnswer> LdlSystem::Query(std::string_view goal_text) {
+  LDL_ASSIGN_OR_RETURN(Literal goal, ParseLiteral(goal_text));
+  return Query(goal);
+}
+
+Result<QueryAnswer> LdlSystem::Query(const Literal& goal) {
+  // Base-relation queries bypass optimization.
+  if (!program_.IsDerived(goal.predicate())) {
+    if (!db_.Exists(goal.predicate())) {
+      return Status::NotFound(
+          StrCat("unknown predicate ", goal.predicate().ToString()));
+    }
+    QueryAnswer answer;
+    answer.answers = SelectMatching(db_.Find(goal.predicate()), goal);
+    answer.plan.goal = goal;
+    answer.plan.safe = true;
+    return answer;
+  }
+
+  // Plan and execute against the same (possibly projection-rewritten)
+  // program: the plan's rule indices refer to it.
+  if (stats_dirty_) RefreshStatistics();
+  LDL_ASSIGN_OR_RETURN(Program working, EffectiveProgram(goal));
+  Optimizer optimizer(working, stats_, options_);
+  LDL_ASSIGN_OR_RETURN(QueryPlan plan, optimizer.Optimize(goal));
+  if (!plan.safe) {
+    return Status::Unsafe(StrCat("query ", goal.ToString(),
+                                 "? has no safe execution: ",
+                                 plan.unsafe_reason));
+  }
+
+  QueryEvalOptions eval_options;
+  eval_options.sips = plan.sips;
+  eval_options.fixpoint.rule_orders.insert(plan.rule_orders.begin(),
+                                           plan.rule_orders.end());
+  LDL_ASSIGN_OR_RETURN(
+      QueryResult result,
+      EvaluateQuery(working, &db_, goal, plan.top_method, eval_options));
+
+  QueryAnswer answer;
+  answer.answers = std::move(result.answers);
+  answer.plan = std::move(plan);
+  answer.exec_stats = result.stats;
+  answer.note = result.note;
+  return answer;
+}
+
+Result<std::string> LdlSystem::Explain(std::string_view goal_text) {
+  LDL_ASSIGN_OR_RETURN(Literal goal, ParseLiteral(goal_text));
+  if (stats_dirty_) RefreshStatistics();
+  LDL_ASSIGN_OR_RETURN(Program working, EffectiveProgram(goal));
+  Optimizer optimizer(working, stats_, options_);
+  LDL_ASSIGN_OR_RETURN(QueryPlan plan, optimizer.Optimize(goal));
+  return plan.Explain(working);
+}
+
+Result<std::string> LdlSystem::ExplainTree(std::string_view goal_text) {
+  LDL_ASSIGN_OR_RETURN(Literal goal, ParseLiteral(goal_text));
+  if (stats_dirty_) RefreshStatistics();
+  LDL_ASSIGN_OR_RETURN(Program working, EffectiveProgram(goal));
+  LDL_ASSIGN_OR_RETURN(std::unique_ptr<PlanNode> tree,
+                       BuildProcessingTree(working, goal));
+  Optimizer optimizer(working, stats_, options_);
+  LDL_RETURN_NOT_OK(optimizer.AnnotateTree(tree.get()));
+  return tree->ToString();
+}
+
+SafetyReport LdlSystem::CheckSafety(std::string_view goal_text) {
+  auto goal = ParseLiteral(goal_text);
+  if (!goal.ok()) {
+    SafetyReport report;
+    report.safe = false;
+    report.problems.push_back(goal.status().ToString());
+    return report;
+  }
+  return AnalyzeQuerySafety(program_, *goal);
+}
+
+Result<QueryResult> LdlSystem::EvaluateUnoptimized(const Literal& goal,
+                                                   RecursionMethod method) {
+  return EvaluateQuery(program_, &db_, goal, method, {});
+}
+
+}  // namespace ldl

@@ -1,0 +1,108 @@
+#ifndef LDLOPT_LDL_LDL_H_
+#define LDLOPT_LDL_LDL_H_
+
+#include <string>
+#include <string_view>
+
+#include "ast/parser.h"
+#include "ast/program.h"
+#include "base/status.h"
+#include "engine/query_eval.h"
+#include "optimizer/optimizer.h"
+#include "safety/safety.h"
+#include "storage/database.h"
+#include "storage/statistics.h"
+
+namespace ldl {
+
+/// Answers plus the plan that produced them and the work it took.
+struct QueryAnswer {
+  Relation answers{"answers", 0};
+  QueryPlan plan;
+  FixpointStats exec_stats;
+  std::string note;
+};
+
+/// The top-level LDL system facade: a knowledge base (rule base + fact
+/// base) with a cost-based, safety-checking query optimizer in front of the
+/// evaluation engine. This is the declarative promise of the paper's
+/// introduction: "the user need only supply a correct query, and the system
+/// is expected to devise an efficient execution strategy for it."
+///
+/// Typical use:
+///
+///   LdlSystem sys;
+///   sys.LoadProgram(R"(
+///     anc(X, Y) <- par(X, Y).
+///     anc(X, Y) <- par(X, Z), anc(Z, Y).
+///     par(bart, homer).  par(homer, abe).
+///   )");
+///   auto answer = sys.Query("anc(bart, Y)");
+///   // answer->plan chose magic sets and a safe, cheap literal order.
+class LdlSystem {
+ public:
+  explicit LdlSystem(OptimizerOptions options = {});
+
+  /// Parses LDL text; rules extend the rule base, ground facts the fact
+  /// base. Queries embedded in the text are remembered (pending_queries()).
+  Status LoadProgram(std::string_view text);
+
+  /// Adds a single clause (rule or fact).
+  Status AddClause(std::string_view text);
+
+  const Program& program() const { return program_; }
+  Database* database() { return &db_; }
+  const std::vector<QueryForm>& pending_queries() const {
+    return program_.queries();
+  }
+
+  /// Recomputes catalog statistics from the current fact base. Called
+  /// automatically on the first query after loading; call explicitly after
+  /// bulk updates through database().
+  void RefreshStatistics();
+  const Statistics& statistics();
+
+  /// Optimizes the query form only (no execution).
+  Result<QueryPlan> Plan(std::string_view goal_text);
+  Result<QueryPlan> Plan(const Literal& goal);
+
+  /// Optimizes and executes. Unsafe queries fail with kUnsafe and a
+  /// diagnostic identifying the offending rule — the compile-time
+  /// pinpointing the paper advocates over run-time freezing (section 8.3).
+  Result<QueryAnswer> Query(std::string_view goal_text);
+  Result<QueryAnswer> Query(const Literal& goal);
+
+  /// Human-readable optimized plan.
+  Result<std::string> Explain(std::string_view goal_text);
+
+  /// The annotated processing tree (paper section 4 view): AND/OR/CC nodes
+  /// with materialize/pipeline flags, method labels, chosen orders, and
+  /// cost/cardinality estimates.
+  Result<std::string> ExplainTree(std::string_view goal_text);
+
+  /// Safety analysis without optimization.
+  SafetyReport CheckSafety(std::string_view goal_text);
+
+  /// Baseline evaluation with a fixed method and textual rule order,
+  /// bypassing the optimizer (for comparisons).
+  Result<QueryResult> EvaluateUnoptimized(const Literal& goal,
+                                          RecursionMethod method);
+
+ private:
+  Status Ingest(Program parsed);
+
+  /// The program the optimizer and engine actually run: the rule base,
+  /// optionally rewritten by the [RBK 87] projection-pushing pass for this
+  /// goal (options_.push_projections).
+  Result<Program> EffectiveProgram(const Literal& goal) const;
+
+  OptimizerOptions options_;
+  Program program_;
+  Database db_;
+  Statistics stats_;
+  bool stats_dirty_ = true;
+};
+
+}  // namespace ldl
+
+#endif  // LDLOPT_LDL_LDL_H_

@@ -1,0 +1,182 @@
+#include "optimizer/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "engine/builtins.h"
+
+namespace ldl {
+
+ConjunctItem MakeBaseItem(const Literal& lit, const Statistics& stats,
+                          const CostModelOptions& options) {
+  ConjunctItem item;
+  item.literal = lit;
+  const RelationStats rs = stats.Get(lit.predicate());
+  item.base_cardinality = std::max(1.0, rs.cardinality);
+  item.distinct = rs.distinct;
+  if (item.distinct.size() < lit.arity()) {
+    item.distinct.resize(lit.arity(), item.base_cardinality);
+  }
+  for (double& d : item.distinct) d = std::max(1.0, d);
+  double card = item.base_cardinality;
+  std::vector<double> distinct = item.distinct;
+  item.use_catalog = true;
+  item.estimate = [card, distinct, options](const Adornment& adn,
+                                            double /*outer_card*/) {
+    PlanEstimate est;
+    double matches = card;
+    for (size_t i = 0; i < adn.size() && i < distinct.size(); ++i) {
+      if (adn.IsBound(i)) matches /= distinct[i];
+    }
+    matches = std::max(matches, 1e-9);
+    est.card = matches;
+    // EL: choose between a full scan and an index probe per binding.
+    double scan_cost = card * options.tuple_cost;
+    double index_cost = options.index_probe_cost +
+                        matches * options.tuple_cost;
+    est.per_binding = (options.enable_index_join && adn.BoundCount() > 0)
+                          ? std::min(scan_cost, index_cost)
+                          : scan_cost;
+    est.setup = 0;
+    return est;
+  };
+  return item;
+}
+
+void CostModel::ApplyStep(const ConjunctItem& item, StepState* state) const {
+  if (!state->safe) return;
+  state->steps++;
+  const Literal& lit = item.literal;
+
+  if (lit.IsBuiltin()) {
+    const bool lhs_bound = state->bound.IsTermBound(lit.args()[0]);
+    const bool rhs_bound = state->bound.IsTermBound(lit.args()[1]);
+    if (!BuiltinComputable(lit, lhs_bound, rhs_bound)) {
+      state->safe = false;
+      state->cost = kInfiniteCost;
+      return;
+    }
+    state->cost += state->card * options_.builtin_cost;
+    switch (lit.builtin()) {
+      case BuiltinKind::kEq:
+        if (lhs_bound && rhs_bound) {
+          state->card *= options_.comparison_selectivity;
+        }
+        // Binding form: one output per input; card unchanged.
+        break;
+      case BuiltinKind::kNe:
+        state->card *= options_.ne_selectivity;
+        break;
+      default:
+        state->card *= options_.comparison_selectivity;
+        break;
+    }
+    PropagateBindings(lit, &state->bound);
+    return;
+  }
+
+  if (lit.negated()) {
+    // Stratified negation: all variables must be bound here.
+    for (const Term& a : lit.args()) {
+      if (!state->bound.IsTermBound(a)) {
+        state->safe = false;
+        state->cost = kInfiniteCost;
+        return;
+      }
+    }
+    // A negated *derived* literal still requires its relation to be fully
+    // computed within its stratum; charge that setup once.
+    if (item.estimate) {
+      PlanEstimate est =
+          item.estimate(Adornment::AllBound(lit.arity()), state->card);
+      if (!est.safe) {
+        state->safe = false;
+        state->cost = kInfiniteCost;
+        return;
+      }
+      state->cost += est.setup;
+    }
+    state->cost +=
+        state->card * (options_.index_probe_cost + options_.tuple_cost);
+    state->card *= options_.negation_selectivity;
+    return;
+  }
+
+  const Adornment adn = AdornLiteral(lit, state->bound);
+  if (item.use_catalog) {
+    // Catalog-backed item: symmetric selectivity math. Matches per binding
+    // instance = |R| / prod over bound columns of max(d_col, domain(var)).
+    double matches = std::max(item.base_cardinality, 1e-9);
+    for (size_t i = 0; i < lit.arity(); ++i) {
+      if (!adn.IsBound(i)) continue;
+      double d_col = i < item.distinct.size() ? std::max(1.0, item.distinct[i])
+                                              : item.base_cardinality;
+      double divisor = d_col;
+      const Term& arg = lit.args()[i];
+      if (arg.kind() == TermKind::kVariable) {
+        auto it = state->domains.find(arg.text());
+        if (it != state->domains.end()) {
+          divisor = std::max(d_col, it->second);
+        }
+      }
+      matches /= divisor;
+    }
+    matches = std::max(matches, 1e-9);
+    double scan_cost = item.base_cardinality * options_.tuple_cost;
+    double probe_cost =
+        options_.index_probe_cost + matches * options_.tuple_cost;
+    double per_binding = (options_.enable_index_join && adn.BoundCount() > 0)
+                             ? std::min(scan_cost, probe_cost)
+                             : scan_cost;
+    state->cost += state->card * per_binding;
+    state->card *= matches;
+    AbsorbDomains(item, &state->domains);
+    PropagateBindings(lit, &state->bound);
+    return;
+  }
+
+  PlanEstimate est =
+      item.estimate ? item.estimate(adn, state->card) : PlanEstimate{};
+  if (!est.safe) {
+    state->safe = false;
+    state->cost = kInfiniteCost;
+    return;
+  }
+  state->cost += est.setup + state->card * est.per_binding;
+  state->card *= est.card;
+  AbsorbDomains(item, &state->domains);
+  PropagateBindings(lit, &state->bound);
+}
+
+void AbsorbDomains(const ConjunctItem& item,
+                   std::map<std::string, double>* domains) {
+  const Literal& lit = item.literal;
+  if (lit.IsBuiltin() || lit.negated()) return;
+  for (size_t i = 0; i < lit.arity(); ++i) {
+    const Term& arg = lit.args()[i];
+    if (arg.kind() != TermKind::kVariable) continue;
+    double d_col = i < item.distinct.size()
+                       ? std::max(1.0, item.distinct[i])
+                       : std::max(1.0, item.base_cardinality);
+    auto [it, inserted] = domains->emplace(arg.text(), d_col);
+    if (!inserted) it->second = std::min(it->second, d_col);
+  }
+}
+
+SequenceCost CostModel::CostSequence(const std::vector<ConjunctItem>& items,
+                                     const std::vector<size_t>& order,
+                                     const BoundVars& initial) const {
+  StepState state;
+  state.bound = initial;
+  for (size_t idx : order) {
+    ApplyStep(items[idx], &state);
+    if (!state.safe) return SequenceCost{};
+  }
+  SequenceCost out;
+  out.cost = state.cost + state.card * options_.output_cost;
+  out.out_card = state.card;
+  out.safe = true;
+  return out;
+}
+
+}  // namespace ldl

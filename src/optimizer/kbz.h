@@ -1,0 +1,31 @@
+#ifndef LDLOPT_OPTIMIZER_KBZ_H_
+#define LDLOPT_OPTIMIZER_KBZ_H_
+
+#include <memory>
+
+#include "optimizer/join_order.h"
+
+namespace ldl {
+
+/// The quadratic-time join-ordering algorithm of [KBZ 86] (Krishnamurthy,
+/// Boral, Zaniolo: "Optimization of Nonrecursive Queries").
+///
+/// The algorithm is exact for acyclic query graphs under cost functions
+/// with the Adjacent Sequence Interchange (ASI) property; following the
+/// paper (and [Vil 87]), it is applied as a heuristic elsewhere:
+///  - the query graph is built from shared variables, with edge selectivity
+///    1/max(d1, d2);
+///  - cyclic graphs are reduced to a maximum-selectivity spanning tree;
+///  - the ASI rank ordering (rank = (T-1)/C) is computed per candidate
+///    root with the classic normalize-and-merge procedure;
+///  - each candidate sequence is then evaluated with the *real* cost model
+///    and the best is kept — which is exactly the experimental set-up used
+///    to validate the heuristic in [Vil 87].
+/// Builtin and negated literals do not participate in the tree; they are
+/// re-inserted greedily at the earliest position where they are computable.
+std::unique_ptr<JoinOrderStrategy> MakeKbzStrategy(
+    const StrategyOptions& options);
+
+}  // namespace ldl
+
+#endif  // LDLOPT_OPTIMIZER_KBZ_H_

@@ -1,0 +1,161 @@
+#ifndef LDLOPT_OPTIMIZER_OPTIMIZER_H_
+#define LDLOPT_OPTIMIZER_OPTIMIZER_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ast/program.h"
+#include "base/status.h"
+#include "engine/fixpoint.h"
+#include "graph/adornment.h"
+#include "graph/dependency_graph.h"
+#include "optimizer/cost_model.h"
+#include "optimizer/join_order.h"
+#include "plan/processing_tree.h"
+#include "storage/statistics.h"
+
+namespace ldl {
+
+/// Knobs of the whole optimizer.
+struct OptimizerOptions {
+  SearchStrategy strategy = SearchStrategy::kExhaustive;
+  StrategyOptions strategy_options;
+  CostModelOptions cost;
+
+  /// Recursive methods the CC-node optimization may label a clique with
+  /// (the "set of labels is restricted only by the availability of the
+  /// techniques in the system", section 4).
+  bool enable_magic = true;
+  bool enable_counting = true;
+
+  /// MP: consider materializing derived subqueries (compute once, probe per
+  /// binding) in addition to pipelining them. Off = pipeline-only (ablation).
+  bool consider_materialization = true;
+
+  /// NR-OPT's per-binding memoization of OR subtrees ("each subtree is
+  /// optimized exactly ONCE for each binding", Figure 7-1). Off re-optimizes
+  /// on every reference (ablation for experiment E6).
+  bool memoize = true;
+
+  /// Apply the [RBK 87] projection-pushing rewrite before optimizing
+  /// (LdlSystem honors this; see optimizer/project_pushdown.h). The paper
+  /// uses it as a pre-processing step because magic/counting only push
+  /// selections.
+  bool push_projections = true;
+};
+
+/// Search-effort accounting, the currency of experiments E2/E3/E6.
+struct PlanSearchStats {
+  size_t cost_evaluations = 0;  ///< sequence/step costings performed
+  size_t subplans_optimized = 0;  ///< (predicate, binding) optimizations run
+  size_t memo_hits = 0;
+};
+
+/// The optimizer's output: estimated cost plus every decision needed to
+/// execute the query — per-rule body orders (the PR/SIP choices), the
+/// recursive method per clique (the PA/EL choices on CC nodes), and the
+/// materialize/pipeline decisions (MP).
+struct QueryPlan {
+  Literal goal;
+  Adornment adornment;
+  PlanEstimate estimate;
+  bool safe = false;
+  std::string unsafe_reason;
+
+  /// Execution method for the goal: the clique's chosen method when the
+  /// goal predicate is recursive, otherwise magic (bound goal) or
+  /// semi-naive (free goal).
+  RecursionMethod top_method = RecursionMethod::kSemiNaive;
+
+  /// Chosen SIPs: body order per (rule, head adornment); drives the magic
+  /// rewrite.
+  SipStrategy sips;
+  /// Chosen body order per rule for direct fixpoint evaluation.
+  std::unordered_map<size_t, std::vector<size_t>> rule_orders;
+  /// Method chosen per clique index.
+  std::map<int, RecursionMethod> clique_methods;
+  /// Derived body literals the plan decided to materialize (predicate
+  /// names, informational).
+  std::vector<std::string> materialized;
+
+  PlanSearchStats search_stats;
+
+  double TotalCost() const { return estimate.setup + estimate.per_binding; }
+
+  /// Multi-line human-readable plan summary.
+  std::string Explain(const Program& program) const;
+};
+
+/// The LDL query optimizer: implements NR-OPT (Figure 7-1) for the
+/// nonrecursive AND/OR structure with per-binding memoization, and OPT
+/// (Figure 7-2) for recursive cliques, choosing SIPs and a recursive method
+/// per CC node. Safety is folded into the search by the infinite-cost
+/// treatment of EC violations and non-well-founded cliques (section 8.2).
+class Optimizer {
+ public:
+  /// `program` and `stats` must outlive the optimizer.
+  Optimizer(const Program& program, const Statistics& stats,
+            OptimizerOptions options = {});
+
+  /// Optimizes one query form. Optimization is query-specific: p(c, Y) and
+  /// p(X, Y) produce independent plans (section 2).
+  Result<QueryPlan> Optimize(const Literal& goal);
+
+  const PlanSearchStats& search_stats() const { return search_stats_; }
+
+  /// Annotates a processing tree (see plan/processing_tree.h) with the
+  /// optimizer's cost and cardinality estimates, method labels, chosen
+  /// permutations (PR) and materialize/pipeline flags — producing the
+  /// fully-labeled execution the paper's figures depict. The tree must have
+  /// been built from the same program.
+  Status AnnotateTree(PlanNode* tree);
+
+ private:
+  Status AnnotateNode(PlanNode* node, const Adornment& binding);
+  /// What the memo stores per (predicate, adornment): Figure 7-1's
+  /// "cost, cardinality, graph, etc., indexed by the binding".
+  struct Subplan {
+    PlanEstimate est;
+    RecursionMethod method = RecursionMethod::kSemiNaive;
+    /// Body order per rule index (this predicate's own rules).
+    std::map<size_t, std::vector<size_t>> orders;
+    /// Derived predicates this subplan references, with their bindings.
+    std::vector<AdornedPredicate> children;
+    /// Children chosen to be materialized instead of pipelined.
+    std::vector<AdornedPredicate> materialized_children;
+    /// Diagnostic when est is unsafe.
+    std::string note;
+  };
+
+  // OR node / CC dispatch (Figure 7-1 case 2 + Figure 7-2 case 3).
+  Subplan OptimizePredicate(const AdornedPredicate& ap);
+  // AND node (Figure 7-1/7-2 case 1): order search over one rule body.
+  Subplan OptimizeRule(size_t rule_index, const Adornment& head_adn);
+  // CC node (Figure 7-2 case 3).
+  Subplan OptimizeClique(int clique_index, const AdornedPredicate& ap);
+
+  /// Builds the conjunct item for a body literal: base literals from
+  /// statistics; derived literals backed by OptimizePredicate (pipelined)
+  /// and, when enabled, the materialized alternative.
+  ConjunctItem MakeItem(const Literal& lit, Subplan* parent);
+
+  void CollectPlan(const AdornedPredicate& ap, QueryPlan* plan,
+                   std::set<std::string>* visited);
+
+  const Program& program_;
+  const Statistics& stats_;
+  OptimizerOptions options_;
+  DependencyGraph graph_;
+  CostModel model_;
+  std::unique_ptr<JoinOrderStrategy> strategy_;
+  std::unordered_map<AdornedPredicate, Subplan, AdornedPredicateHash> memo_;
+  PlanSearchStats search_stats_;
+};
+
+}  // namespace ldl
+
+#endif  // LDLOPT_OPTIMIZER_OPTIMIZER_H_

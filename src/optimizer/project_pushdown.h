@@ -1,0 +1,48 @@
+#ifndef LDLOPT_OPTIMIZER_PROJECT_PUSHDOWN_H_
+#define LDLOPT_OPTIMIZER_PROJECT_PUSHDOWN_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ast/program.h"
+#include "base/status.h"
+
+namespace ldl {
+
+/// Result of the projection-pushing rewrite.
+struct ProjectedProgram {
+  Program rewritten;
+  /// The goal re-targeted at the rewritten program (the query predicate
+  /// itself keeps all argument positions).
+  Literal goal;
+  /// For each reduced derived predicate: which original argument positions
+  /// were kept (renamed to "<name>.pp", arity = kept.size()).
+  std::map<PredicateId, std::vector<size_t>> kept_positions;
+  /// Total argument positions eliminated across the program.
+  size_t positions_dropped = 0;
+
+  std::string ToString() const;
+};
+
+/// The projection-pushing pre-processing pass of [RBK 87], which the paper
+/// (section 7.3) applies before the optimizer because "recursive techniques
+/// such as Magic Sets and Counting can only handle pushing selections".
+///
+/// Computes, by fixpoint over the rule graph, which argument positions of
+/// each derived predicate are *needed* — a position is needed in some
+/// occurrence if its term is non-variable, or its variable also appears in
+/// a needed head position, in another body literal (join variable), in a
+/// builtin or negated literal, or more than once in the same literal. All
+/// other positions carry values no consumer ever looks at; they are dropped
+/// by rewriting the predicate to "<name>.pp" with only the kept positions
+/// (the PP transformation applied program-wide).
+///
+/// The rewrite preserves the query's answers exactly: the query predicate
+/// keeps every position, and dropped positions are provably dead.
+Result<ProjectedProgram> PushProjections(const Program& program,
+                                         const Literal& goal);
+
+}  // namespace ldl
+
+#endif  // LDLOPT_OPTIMIZER_PROJECT_PUSHDOWN_H_

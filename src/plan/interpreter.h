@@ -1,0 +1,76 @@
+#ifndef LDLOPT_PLAN_INTERPRETER_H_
+#define LDLOPT_PLAN_INTERPRETER_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "ast/program.h"
+#include "base/status.h"
+#include "engine/fixpoint.h"
+#include "plan/processing_tree.h"
+#include "storage/database.h"
+
+namespace ldl {
+
+/// Executes processing trees according to the paper's section 4 semantics:
+///
+///  - execution proceeds bottom-up, left to right;
+///  - a *materialized* (square) subtree is computed in full before its
+///    ancestor operation starts — "without any sideways information
+///    passing";
+///  - a *pipelined* (triangle) subtree is computed lazily, "using the
+///    binding from the result of the subquery to the left": the AND node
+///    passes each intermediate binding down and the subtree returns only
+///    the matching fragment. Repeated bindings are answered from a table
+///    (memo), so pipelining never does more total work than the bindings
+///    demand;
+///  - a CC node computes the least fixpoint of its clique with the method
+///    its EL/PA labels selected (naive / seminaive materialized; magic /
+///    counting pipelined).
+///
+/// This interpreter exists to make the execution model concrete and
+/// testable; the production path in LdlSystem executes optimizer plans
+/// directly through the engine (the two agree — see interpreter_test).
+class TreeInterpreter {
+ public:
+  /// `program` must be the program the tree was built from; `db` holds the
+  /// base relations. Both must outlive the interpreter.
+  TreeInterpreter(const Program& program, Database* db)
+      : program_(program), db_(db) {}
+
+  /// Executes `tree` for `goal_instance` (the tree's goal with any
+  /// additional constants substituted; pass tree.goal for the generic
+  /// result). Returns the matching tuples.
+  Result<Relation> Execute(const PlanNode& tree, const Literal& goal_instance);
+
+  /// Work accounting across all Execute calls.
+  const EvalCounters& counters() const { return counters_; }
+  size_t memo_hits() const { return memo_hits_; }
+
+ private:
+  Result<const Relation*> ExecuteNode(const PlanNode& node,
+                                      const Literal& goal_instance);
+  Result<Relation> ExecuteScan(const PlanNode& node, const Literal& goal);
+  Result<Relation> ExecuteOr(const PlanNode& node, const Literal& goal);
+  Result<Relation> ExecuteAnd(const PlanNode& node, const Literal& goal);
+  /// EL "hash-join" path: whole-relation equi-joins over materialized
+  /// children (engine/operators.h). nullopt = shape not expressible
+  /// (builtins, negation, function terms); caller falls back to the
+  /// tuple-at-a-time pipeline.
+  std::optional<Result<Relation>> TryHashJoin(const PlanNode& node,
+                                              const Rule& specialized);
+  Result<Relation> ExecuteCc(const PlanNode& node, const Literal& goal);
+
+  const Program& program_;
+  Database* db_;
+  // Tabling: (node identity, instance pattern) -> result.
+  std::map<std::string, std::unique_ptr<Relation>> memo_;
+  EvalCounters counters_;
+  size_t memo_hits_ = 0;
+};
+
+}  // namespace ldl
+
+#endif  // LDLOPT_PLAN_INTERPRETER_H_

@@ -1,0 +1,232 @@
+#include "plan/transform.h"
+
+#include <algorithm>
+#include <set>
+
+#include "base/strings.h"
+
+namespace ldl {
+
+namespace {
+
+bool IsPermutation(const std::vector<size_t>& perm, size_t n) {
+  if (perm.size() != n) return false;
+  std::vector<bool> seen(n, false);
+  for (size_t p : perm) {
+    if (p >= n || seen[p]) return false;
+    seen[p] = true;
+  }
+  return true;
+}
+
+const std::set<std::string>& LabelsFor(PlanNodeKind kind) {
+  static const auto* and_labels = new std::set<std::string>{
+      "nested-loop", "index-join", "hash-join"};
+  static const auto* or_labels = new std::set<std::string>{"union"};
+  static const auto* cc_labels = new std::set<std::string>{
+      "naive", "seminaive", "magic", "counting"};
+  static const auto* scan_labels =
+      new std::set<std::string>{"scan", "index-scan"};
+  static const auto* builtin_labels = new std::set<std::string>{"builtin"};
+  switch (kind) {
+    case PlanNodeKind::kAnd:
+      return *and_labels;
+    case PlanNodeKind::kOr:
+      return *or_labels;
+    case PlanNodeKind::kCc:
+      return *cc_labels;
+    case PlanNodeKind::kScan:
+      return *scan_labels;
+    case PlanNodeKind::kBuiltin:
+      return *builtin_labels;
+  }
+  return *scan_labels;
+}
+
+}  // namespace
+
+Status TransformMp(PlanNode* node) {
+  node->materialized = !node->materialized;
+  return Status::OK();
+}
+
+Status TransformPr(PlanNode* and_node,
+                   const std::vector<size_t>& permutation) {
+  if (and_node->kind != PlanNodeKind::kAnd) {
+    return Status::InvalidArgument("PR applies to AND nodes");
+  }
+  if (!IsPermutation(permutation, and_node->children.size())) {
+    return Status::InvalidArgument("PR: not a permutation of the children");
+  }
+  std::vector<std::unique_ptr<PlanNode>> new_children;
+  std::vector<size_t> new_order;
+  new_children.reserve(permutation.size());
+  new_order.reserve(permutation.size());
+  for (size_t p : permutation) {
+    new_children.push_back(std::move(and_node->children[p]));
+    new_order.push_back(and_node->body_order[p]);
+  }
+  and_node->children = std::move(new_children);
+  and_node->body_order = std::move(new_order);
+  return Status::OK();
+}
+
+Status TransformPa(PlanNode* cc_node,
+                   const std::vector<std::vector<size_t>>& c_permutation,
+                   const std::string& method) {
+  if (cc_node->kind != PlanNodeKind::kCc) {
+    return Status::InvalidArgument("PA applies to CC nodes");
+  }
+  if (c_permutation.size() != cc_node->clique_rules.size()) {
+    return Status::InvalidArgument(
+        "PA: need one permutation per clique rule");
+  }
+  for (size_t i = 0; i < c_permutation.size(); ++i) {
+    if (!IsPermutation(c_permutation[i], cc_node->clique_orders[i].size())) {
+      return Status::InvalidArgument(
+          StrCat("PA: entry ", i, " is not a valid permutation"));
+    }
+  }
+  cc_node->clique_orders = c_permutation;
+  return TransformEl(cc_node, method);
+}
+
+Status TransformEl(PlanNode* node, const std::string& method) {
+  const auto& labels = LabelsFor(node->kind);
+  if (!labels.count(method)) {
+    return Status::InvalidArgument(
+        StrCat("EL: method '", method, "' is not available for ",
+               PlanNodeKindToString(node->kind), " nodes"));
+  }
+  node->method = method;
+  return Status::OK();
+}
+
+Status TransformPushSelect(PlanNode* node, size_t arg) {
+  if (arg >= node->goal.arity()) {
+    return Status::InvalidArgument("PS: argument index out of range");
+  }
+  if (node->binding.size() != node->goal.arity()) {
+    node->binding = Adornment(node->goal.arity());
+  }
+  node->binding.SetBound(arg, true);
+  return Status::OK();
+}
+
+Status TransformPullSelect(PlanNode* node, size_t arg) {
+  if (arg >= node->binding.size()) {
+    return Status::InvalidArgument("PS: argument index out of range");
+  }
+  node->binding.SetBound(arg, false);
+  return Status::OK();
+}
+
+Status TransformPushProject(PlanNode* node, std::vector<size_t> columns) {
+  for (size_t c : columns) {
+    if (c >= node->goal.arity()) {
+      return Status::InvalidArgument("PP: column out of range");
+    }
+  }
+  std::sort(columns.begin(), columns.end());
+  columns.erase(std::unique(columns.begin(), columns.end()), columns.end());
+  node->projection = std::move(columns);
+  return Status::OK();
+}
+
+Status TransformPullProject(PlanNode* node) {
+  node->projection.clear();
+  return Status::OK();
+}
+
+Result<std::unique_ptr<PlanNode>> TransformFlatten(const PlanNode& and_node,
+                                                   size_t child_pos) {
+  if (and_node.kind != PlanNodeKind::kAnd) {
+    return Status::InvalidArgument("FU: flatten applies to AND nodes");
+  }
+  if (child_pos >= and_node.children.size() ||
+      and_node.children[child_pos]->kind != PlanNodeKind::kOr) {
+    return Status::InvalidArgument("FU: child is not an OR node");
+  }
+  const PlanNode& or_child = *and_node.children[child_pos];
+  auto result = std::make_unique<PlanNode>();
+  result->kind = PlanNodeKind::kOr;
+  result->method = "union";
+  result->goal = and_node.goal;
+  result->binding = and_node.binding;
+  for (const auto& alternative : or_child.children) {
+    auto copy = and_node.Clone();
+    copy->children[child_pos] = alternative->Clone();
+    result->children.push_back(std::move(copy));
+  }
+  return result;
+}
+
+namespace {
+
+// Structural equality of subtrees, ignoring cost annotations.
+bool TreesEqual(const PlanNode& a, const PlanNode& b) {
+  if (a.kind != b.kind || a.materialized != b.materialized ||
+      a.method != b.method || !(a.goal == b.goal) ||
+      a.binding != b.binding || a.rule_index != b.rule_index ||
+      a.children.size() != b.children.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.children.size(); ++i) {
+    if (!TreesEqual(*a.children[i], *b.children[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<PlanNode>> TransformUnflatten(const PlanNode& or_node) {
+  if (or_node.kind != PlanNodeKind::kOr || or_node.children.size() < 2) {
+    return Status::InvalidArgument(
+        "FU: unflatten applies to OR nodes with >= 2 children");
+  }
+  for (const auto& child : or_node.children) {
+    if (child->kind != PlanNodeKind::kAnd) {
+      return Status::InvalidArgument("FU: unflatten children must be ANDs");
+    }
+  }
+  const PlanNode& first = *or_node.children[0];
+  size_t n = first.children.size();
+  for (const auto& child : or_node.children) {
+    if (child->children.size() != n) {
+      return Status::InvalidArgument("FU: AND arities differ");
+    }
+  }
+  // Find the single differing position.
+  size_t diff_pos = SIZE_MAX;
+  for (size_t j = 0; j < n; ++j) {
+    bool all_equal = true;
+    for (size_t k = 1; k < or_node.children.size(); ++k) {
+      if (!TreesEqual(*first.children[j], *or_node.children[k]->children[j])) {
+        all_equal = false;
+        break;
+      }
+    }
+    if (!all_equal) {
+      if (diff_pos != SIZE_MAX) {
+        return Status::InvalidArgument(
+            "FU: children differ at more than one position");
+      }
+      diff_pos = j;
+    }
+  }
+  if (diff_pos == SIZE_MAX) diff_pos = 0;  // identical branches: factor any
+
+  auto result = first.Clone();
+  auto merged_or = std::make_unique<PlanNode>();
+  merged_or->kind = PlanNodeKind::kOr;
+  merged_or->method = "union";
+  merged_or->goal = first.children[diff_pos]->goal;
+  merged_or->binding = first.children[diff_pos]->binding;
+  for (const auto& child : or_node.children) {
+    merged_or->children.push_back(child->children[diff_pos]->Clone());
+  }
+  result->children[diff_pos] = std::move(merged_or);
+  return result;
+}
+
+}  // namespace ldl

@@ -1,0 +1,68 @@
+#ifndef LDLOPT_PLAN_TRANSFORM_H_
+#define LDLOPT_PLAN_TRANSFORM_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "plan/processing_tree.h"
+
+namespace ldl {
+
+/// The equivalence-preserving transformations of the paper's section 5.
+/// Each maps a processing tree to a logically equivalent processing tree;
+/// the execution space is the closure of a tree under a chosen subset of
+/// these rules. The optimizer's search enumerates {MP, PR, PA} implicitly;
+/// these explicit rewrites exist as the formal definition of the space, for
+/// tests, and for the documented FU extension (section 8.3).
+
+/// MP — Materialize/Pipeline: flips the materialization flag of a node.
+Status TransformMp(PlanNode* node);
+
+/// PR — Permute: reorders the children of an AND node by `permutation`
+/// (a permutation of 0..n-1 over current child positions). body_order is
+/// composed accordingly.
+Status TransformPr(PlanNode* and_node, const std::vector<size_t>& permutation);
+
+/// PA — Permute & Adorn: installs a c-permutation (one body order per
+/// clique rule) and a recursive-method label on a CC node.
+Status TransformPa(PlanNode* cc_node,
+                   const std::vector<std::vector<size_t>>& c_permutation,
+                   const std::string& method);
+
+/// EL — Exchange Label: replaces the method label of a node. The label must
+/// be available for the node's kind ("nested-loop"/"index-join"/"hash-join"
+/// for AND, "union" for OR, "naive"/"seminaive"/"magic"/"counting" for CC,
+/// "scan"/"index-scan" for leaves).
+Status TransformEl(PlanNode* node, const std::string& method);
+
+/// PS — PushSelect: records that argument position `arg` of `node`'s goal
+/// is restricted (bound) — piggy-backing the selection onto the node. Pull
+/// is the inverse (unbinding).
+Status TransformPushSelect(PlanNode* node, size_t arg);
+Status TransformPullSelect(PlanNode* node, size_t arg);
+
+/// PP — PushProject: records the set of goal argument positions ancestors
+/// need; PullProject clears it.
+Status TransformPushProject(PlanNode* node, std::vector<size_t> columns);
+Status TransformPullProject(PlanNode* node);
+
+/// FU — Flatten: distributes a join over a union. Given an AND node with an
+/// OR child at `child_pos`, returns a new OR node whose k-th child is a copy
+/// of the AND node with the OR child replaced by the OR's k-th alternative
+/// (an AND child, inlined). This is the transformation the paper's first
+/// optimizer version excludes (section 5) — implemented here as the
+/// documented extension, and exercised by the section 8.3 example tests.
+Result<std::unique_ptr<PlanNode>> TransformFlatten(const PlanNode& and_node,
+                                                   size_t child_pos);
+
+/// FU⁻¹ — Unflatten: inverse of Flatten for an OR node whose children are
+/// AND nodes identical except at one position (factored back into a single
+/// AND over an OR). Returns kInvalidArgument when the pattern does not
+/// match.
+Result<std::unique_ptr<PlanNode>> TransformUnflatten(const PlanNode& or_node);
+
+}  // namespace ldl
+
+#endif  // LDLOPT_PLAN_TRANSFORM_H_

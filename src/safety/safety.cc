@@ -1,0 +1,293 @@
+#include "safety/safety.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "base/strings.h"
+#include "engine/builtins.h"
+#include "graph/adornment.h"
+
+namespace ldl {
+
+namespace {
+
+// Whether `lit` can be evaluated now, given `bound`.
+bool Placeable(const Literal& lit, const BoundVars& bound) {
+  if (lit.IsBuiltin()) {
+    return BuiltinComputable(lit, bound.IsTermBound(lit.args()[0]),
+                             bound.IsTermBound(lit.args()[1]));
+  }
+  if (lit.negated()) {
+    for (const Term& a : lit.args()) {
+      if (!bound.IsTermBound(a)) return false;
+    }
+    return true;
+  }
+  return true;  // positive literals enumerate their relation
+}
+
+Status HeadRangeRestricted(const Rule& rule, const Adornment& head_adn,
+                           const BoundVars& bound) {
+  for (size_t i = 0; i < rule.head().arity(); ++i) {
+    if (i < head_adn.size() && head_adn.IsBound(i)) continue;  // input
+    if (!bound.IsTermBound(rule.head().args()[i])) {
+      return Status::Unsafe(
+          StrCat("head argument ", i + 1, " of ", rule.head().ToString(),
+                 " is not bound by the body (rule not range-restricted)"));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status CheckRuleEc(const Rule& rule, const std::vector<size_t>& order,
+                   const Adornment& head_adornment) {
+  BoundVars bound;
+  BindHeadVariables(rule.head(), head_adornment, &bound);
+  for (size_t pos : order) {
+    const Literal& lit = rule.body()[pos];
+    if (!Placeable(lit, bound)) {
+      return Status::Unsafe(
+          StrCat("literal ", lit.ToString(), " of rule ", rule.ToString(),
+                 " is not effectively computable at its position (",
+                 lit.IsBuiltin() ? "insufficiently bound builtin"
+                                 : "negated literal with unbound variables",
+                 ")"));
+    }
+    PropagateBindings(lit, &bound);
+  }
+  return HeadRangeRestricted(rule, head_adornment, bound);
+}
+
+std::optional<std::vector<size_t>> FindEcOrder(
+    const Rule& rule, const Adornment& head_adornment) {
+  BoundVars bound;
+  BindHeadVariables(rule.head(), head_adornment, &bound);
+  std::vector<size_t> order;
+  std::vector<bool> placed(rule.body().size(), false);
+  // Greedy placement; prefer already-computable builtins (cheap filters)
+  // then positive literals. Completeness: placing a literal never removes
+  // bindings, so a literal placeable now stays placeable.
+  for (size_t round = 0; round < rule.body().size(); ++round) {
+    int pick = -1;
+    // First a placeable builtin/negation, else a positive literal.
+    for (size_t i = 0; i < rule.body().size(); ++i) {
+      if (placed[i]) continue;
+      const Literal& lit = rule.body()[i];
+      if ((lit.IsBuiltin() || lit.negated()) && Placeable(lit, bound)) {
+        pick = static_cast<int>(i);
+        break;
+      }
+    }
+    if (pick < 0) {
+      for (size_t i = 0; i < rule.body().size(); ++i) {
+        if (placed[i]) continue;
+        const Literal& lit = rule.body()[i];
+        if (!lit.IsBuiltin() && !lit.negated()) {
+          pick = static_cast<int>(i);
+          break;
+        }
+      }
+    }
+    if (pick < 0) return std::nullopt;  // only unplaceable literals remain
+    placed[pick] = true;
+    order.push_back(pick);
+    PropagateBindings(rule.body()[pick], &bound);
+  }
+  if (!HeadRangeRestricted(rule, head_adornment, bound).ok()) {
+    return std::nullopt;
+  }
+  return order;
+}
+
+namespace {
+
+// True when the clique can only derive terms over the constants already in
+// the database: no head argument builds a function term, and no `=` builtin
+// computes arithmetic into a variable that reaches a head argument.
+bool CliqueIsTermBounded(const Program& program,
+                         const RecursiveClique& clique) {
+  std::vector<size_t> all_rules = clique.exit_rules;
+  all_rules.insert(all_rules.end(), clique.recursive_rules.begin(),
+                   clique.recursive_rules.end());
+  for (size_t rule_index : all_rules) {
+    const Rule& rule = program.rules()[rule_index];
+    for (const Term& arg : rule.head().args()) {
+      if (arg.IsFunction()) return false;
+    }
+    for (const Literal& lit : rule.body()) {
+      if (lit.builtin() == BuiltinKind::kEq &&
+          (ContainsArithmetic(lit.args()[0]) ||
+           ContainsArithmetic(lit.args()[1]))) {
+        // Arithmetic can generate unboundedly many new constants.
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+// Sufficient monotonicity condition for arithmetic recursion ([KRS 87]
+// style): every arithmetic assignment in the rule is a fixed-step
+// progression V = B + k / V = B - k (k a positive integer constant), and
+// each such V is bounded by a ground comparison in the direction of growth
+// (V < c for +k, V > c for -k). Each chain of generated values then moves
+// monotonically toward a fixed bound, so only finitely many new constants
+// arise.
+bool RuleHasBoundedProgression(const Rule& rule) {
+  for (const Term& a : rule.head().args()) {
+    if (a.IsFunction()) return false;  // structural growth: not our case
+  }
+  for (const Literal& lit : rule.body()) {
+    if (lit.builtin() != BuiltinKind::kEq) continue;
+    const Term& lhs = lit.args()[0];
+    const Term& rhs = lit.args()[1];
+    if (!ContainsArithmetic(lhs) && !ContainsArithmetic(rhs)) continue;
+    // Recognize V = B + k | V = B - k | V = k + B.
+    if (lhs.kind() != TermKind::kVariable || !rhs.IsFunction()) return false;
+    const std::string& op = rhs.text();
+    if ((op != "+" && op != "-") || rhs.arity() != 2) return false;
+    const Term& a0 = rhs.args()[0];
+    const Term& a1 = rhs.args()[1];
+    int direction = 0;
+    if (a0.kind() == TermKind::kVariable && a1.kind() == TermKind::kInt &&
+        a1.int_value() > 0) {
+      direction = op == "+" ? 1 : -1;
+    } else if (op == "+" && a0.kind() == TermKind::kInt &&
+               a0.int_value() > 0 && a1.kind() == TermKind::kVariable) {
+      direction = 1;
+    } else {
+      return false;
+    }
+    const std::string& v = lhs.text();
+    bool bounded = false;
+    for (const Literal& cmp : rule.body()) {
+      if (!cmp.IsBuiltin()) continue;
+      const Term& x = cmp.args()[0];
+      const Term& y = cmp.args()[1];
+      auto is_v = [&v](const Term& t) {
+        return t.kind() == TermKind::kVariable && t.text() == v;
+      };
+      switch (cmp.builtin()) {
+        case BuiltinKind::kLt:
+        case BuiltinKind::kLe:
+          if (direction > 0 && is_v(x) && y.IsGround()) bounded = true;
+          if (direction < 0 && is_v(y) && x.IsGround()) bounded = true;
+          break;
+        case BuiltinKind::kGt:
+        case BuiltinKind::kGe:
+          if (direction > 0 && is_v(y) && x.IsGround()) bounded = true;
+          if (direction < 0 && is_v(x) && y.IsGround()) bounded = true;
+          break;
+        default:
+          break;
+      }
+    }
+    if (!bounded) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Status CheckWellFounded(const Program& program, const RecursiveClique& clique,
+                        const PredicateId& queried,
+                        const Adornment& query_adornment) {
+  if (CliqueIsTermBounded(program, clique)) return Status::OK();
+
+  // Term-generating clique: require a decreasing bound argument in every
+  // recursive rule whose head is the queried predicate; other cliques'
+  // rules (mutual recursion with term growth) are conservatively rejected.
+  for (size_t rule_index : clique.recursive_rules) {
+    const Rule& rule = program.rules()[rule_index];
+    if (!(rule.head().predicate() == queried)) {
+      return Status::Unsafe(
+          StrCat("clique ", clique.ToString(),
+                 " builds new terms through mutual recursion; no "
+                 "well-founded order can be established"));
+    }
+    bool decreasing = false;
+    for (const Literal& lit : rule.body()) {
+      if (lit.IsBuiltin() || lit.negated() ||
+          !clique.Contains(lit.predicate())) {
+        continue;
+      }
+      for (size_t i = 0; i < lit.arity() && i < query_adornment.size(); ++i) {
+        if (!query_adornment.IsBound(i)) continue;
+        // Bound argument of the recursive call strictly inside the bound
+        // head argument: each recursive descent consumes structure.
+        if (rule.head().args()[i].HasStrictSubterm(lit.args()[i])) {
+          decreasing = true;
+        }
+      }
+    }
+    if (!decreasing && RuleHasBoundedProgression(rule)) {
+      // Monotone fixed-step arithmetic capped by a ground comparison: the
+      // iteration is well-founded even without structural descent.
+      decreasing = true;
+    }
+    if (!decreasing) {
+      return Status::Unsafe(StrCat(
+          "recursive rule ", rule.ToString(),
+          " builds new terms but has no monotonically decreasing bound "
+          "argument under binding ", query_adornment.ToString(),
+          "; no well-founded order (paper section 8.1)"));
+    }
+  }
+  return Status::OK();
+}
+
+std::string SafetyReport::ToString() const {
+  if (safe) return "SAFE";
+  std::ostringstream os;
+  os << "UNSAFE:";
+  for (const std::string& p : problems) os << "\n  - " << p;
+  return os.str();
+}
+
+SafetyReport AnalyzeQuerySafety(const Program& program, const Literal& goal) {
+  SafetyReport report;
+  if (!program.IsDerived(goal.predicate())) return report;
+
+  // Adorn with greedy-EC SIPs so rules are checked under realistic orders.
+  auto adorned = AdornProgramForQuery(program, goal, SipStrategy());
+  if (!adorned.ok()) {
+    report.safe = false;
+    report.problems.push_back(adorned.status().ToString());
+    return report;
+  }
+  std::set<std::pair<size_t, std::string>> checked;
+  for (const AdornedRule& ar : adorned->rules) {
+    if (!checked
+             .insert({ar.rule_index, ar.head_adornment.ToString()})
+             .second) {
+      continue;
+    }
+    const Rule& rule = program.rules()[ar.rule_index];
+    if (!FindEcOrder(rule, ar.head_adornment).has_value()) {
+      report.safe = false;
+      report.problems.push_back(
+          StrCat("no effectively computable order exists for rule ",
+                 rule.ToString(), " under binding ",
+                 ar.head_adornment.ToString()));
+    }
+  }
+
+  DependencyGraph graph = DependencyGraph::Build(program);
+  std::set<int> checked_cliques;
+  for (const AdornedPredicate& ap : adorned->predicates) {
+    int ci = graph.CliqueIndex(ap.pred);
+    if (ci < 0 || !checked_cliques.insert(ci).second) continue;
+    Status wf = CheckWellFounded(program, graph.cliques()[ci], ap.pred,
+                                 ap.adornment);
+    if (!wf.ok()) {
+      report.safe = false;
+      report.problems.push_back(wf.message());
+    }
+  }
+  return report;
+}
+
+}  // namespace ldl

@@ -1,0 +1,65 @@
+#ifndef LDLOPT_SAFETY_SAFETY_H_
+#define LDLOPT_SAFETY_SAFETY_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ast/program.h"
+#include "base/status.h"
+#include "graph/binding.h"
+#include "graph/dependency_graph.h"
+
+namespace ldl {
+
+/// Effective computability (EC) of one rule under a body order and a head
+/// binding (paper section 8.1): walking the body in `order`,
+///  - every builtin must be computable when reached (comparisons need both
+///    sides bound, `=` needs one side bound);
+///  - every negated literal must have all variables bound when reached;
+///  - after the walk, every head variable in a *free* head position must be
+///    bound (range restriction of the output).
+/// Returns OK or kUnsafe with a message naming the offending literal.
+Status CheckRuleEc(const Rule& rule, const std::vector<size_t>& order,
+                   const Adornment& head_adornment);
+
+/// Searches for an order making the rule effectively computable under the
+/// head binding. Binding sets grow monotonically along a body walk, so a
+/// greedy "place any placeable literal" scan is complete: it finds an EC
+/// order iff one exists. Returns nullopt when every permutation is unsafe
+/// (the section 8.3 situation that only flattening could rescue).
+std::optional<std::vector<size_t>> FindEcOrder(const Rule& rule,
+                                               const Adornment& head_adornment);
+
+/// Sufficient well-foundedness condition for a recursive clique queried
+/// under `query_adornment` (on predicate `queried`), per section 8.1:
+///  - if no clique rule builds new terms (no function symbols in head
+///    arguments, no arithmetic feeding head variables), the Herbrand
+///    universe reachable bottom-up is finite: safe for any adornment;
+///  - otherwise a well-founded order is required: some bound argument of
+///    the recursive call must be a strict subterm of the corresponding
+///    (bound) head argument — the "list is monotonically decreasing"
+///    condition. Term-growing recursion without such a decreasing bound
+///    argument is reported unsafe.
+/// This is a sufficient condition: it may reject programs that terminate
+/// for data-dependent reasons (e.g. growth driven by an acyclic base
+/// relation), matching the paper's discussion of sufficient conditions.
+Status CheckWellFounded(const Program& program, const RecursiveClique& clique,
+                        const PredicateId& queried,
+                        const Adornment& query_adornment);
+
+/// A whole-query safety report: runs FindEcOrder for every (rule,
+/// adornment) reachable from the goal and CheckWellFounded for every
+/// reachable clique.
+struct SafetyReport {
+  bool safe = true;
+  std::vector<std::string> problems;
+
+  std::string ToString() const;
+};
+
+SafetyReport AnalyzeQuerySafety(const Program& program, const Literal& goal);
+
+}  // namespace ldl
+
+#endif  // LDLOPT_SAFETY_SAFETY_H_

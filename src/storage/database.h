@@ -1,0 +1,54 @@
+#ifndef LDLOPT_STORAGE_DATABASE_H_
+#define LDLOPT_STORAGE_DATABASE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ast/literal.h"
+#include "base/status.h"
+#include "storage/relation.h"
+
+namespace ldl {
+
+/// The fact base: named relations keyed by predicate name/arity.
+/// Relations are owned by the database; engine components hold raw pointers
+/// whose lifetime is bounded by the database's.
+class Database {
+ public:
+  Database() = default;
+
+  // Movable, not copyable (relations can be large).
+  Database(Database&&) = default;
+  Database& operator=(Database&&) = default;
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// Returns the relation for `pred`, creating an empty one if absent.
+  Relation* GetOrCreate(const PredicateId& pred);
+
+  /// Returns the relation or nullptr.
+  Relation* Find(const PredicateId& pred);
+  const Relation* Find(const PredicateId& pred) const;
+
+  bool Exists(const PredicateId& pred) const { return Find(pred) != nullptr; }
+
+  /// Inserts a ground fact literal, creating the relation on demand.
+  Status AddFact(const Literal& fact);
+
+  /// All predicates with a (possibly empty) relation, sorted by name.
+  std::vector<PredicateId> Predicates() const;
+
+  size_t TotalTuples() const;
+
+  std::string ToString() const;
+
+ private:
+  std::unordered_map<PredicateId, std::unique_ptr<Relation>, PredicateIdHash>
+      relations_;
+};
+
+}  // namespace ldl
+
+#endif  // LDLOPT_STORAGE_DATABASE_H_

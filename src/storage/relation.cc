@@ -1,0 +1,98 @@
+#include "storage/relation.h"
+
+#include <cassert>
+#include <set>
+#include <sstream>
+
+namespace ldl {
+
+std::string TupleToString(const Tuple& t) {
+  std::ostringstream os;
+  os << '(';
+  bool first = true;
+  for (const Term& v : t) {
+    if (!first) os << ", ";
+    first = false;
+    os << v;
+  }
+  os << ')';
+  return os.str();
+}
+
+bool Relation::Insert(Tuple t) {
+  assert(t.size() == arity_ && "tuple arity mismatch");
+  if (t.size() != arity_) return false;
+  size_t h = TupleHash{}(t);
+  auto& bucket = dedup_[h];
+  for (uint32_t id : bucket) {
+    if (tuples_[id] == t) return false;
+  }
+  bucket.push_back(static_cast<uint32_t>(tuples_.size()));
+  tuples_.push_back(std::move(t));
+  return true;
+}
+
+size_t Relation::InsertAll(const Relation& other) {
+  size_t added = 0;
+  for (const Tuple& t : other.tuples()) {
+    if (Insert(t)) ++added;
+  }
+  return added;
+}
+
+bool Relation::Contains(const Tuple& t) const {
+  size_t h = TupleHash{}(t);
+  auto it = dedup_.find(h);
+  if (it == dedup_.end()) return false;
+  for (uint32_t id : it->second) {
+    if (tuples_[id] == t) return true;
+  }
+  return false;
+}
+
+void Relation::Clear() {
+  tuples_.clear();
+  dedup_.clear();
+  indexes_.clear();
+}
+
+const std::vector<uint32_t>& Relation::Lookup(const std::vector<int>& cols,
+                                              const Tuple& key) {
+  static const auto* empty = new std::vector<uint32_t>();
+  Index& index = indexes_[cols];
+  if (index.built_upto < tuples_.size()) ExtendIndex(cols, &index);
+  auto it = index.postings.find(key);
+  return it == index.postings.end() ? *empty : it->second;
+}
+
+void Relation::ExtendIndex(const std::vector<int>& cols, Index* index) {
+  for (size_t id = index->built_upto; id < tuples_.size(); ++id) {
+    Tuple key;
+    key.reserve(cols.size());
+    for (int c : cols) key.push_back(tuples_[id][c]);
+    index->postings[std::move(key)].push_back(static_cast<uint32_t>(id));
+  }
+  index->built_upto = tuples_.size();
+}
+
+size_t Relation::DistinctCount(size_t col) const {
+  std::set<Term> values;
+  for (const Tuple& t : tuples_) values.insert(t[col]);
+  return values.size();
+}
+
+std::string Relation::ToString(size_t max_tuples) const {
+  std::ostringstream os;
+  os << name_ << '/' << arity_ << " [" << size() << " tuples]";
+  size_t shown = 0;
+  for (const Tuple& t : tuples_) {
+    if (shown++ >= max_tuples) {
+      os << "\n  ...";
+      break;
+    }
+    os << "\n  " << TupleToString(t);
+  }
+  return os.str();
+}
+
+}  // namespace ldl

@@ -1,0 +1,77 @@
+#ifndef LDLOPT_STORAGE_RELATION_H_
+#define LDLOPT_STORAGE_RELATION_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "base/status.h"
+#include "storage/tuple.h"
+
+namespace ldl {
+
+/// A set-semantics relation: duplicate-free bag of ground tuples with
+/// lazily built, incrementally maintained hash indexes on column subsets.
+///
+/// Indexes survive inserts (they are extended on next access), which matters
+/// because fixpoint evaluation keeps inserting into the relations it reads.
+class Relation {
+ public:
+  Relation() = default;
+  Relation(std::string name, size_t arity)
+      : name_(std::move(name)), arity_(arity) {}
+
+  const std::string& name() const { return name_; }
+  size_t arity() const { return arity_; }
+  size_t size() const { return tuples_.size(); }
+  bool empty() const { return tuples_.empty(); }
+
+  const std::vector<Tuple>& tuples() const { return tuples_; }
+  const Tuple& tuple(size_t i) const { return tuples_[i]; }
+
+  /// Inserts `t`; returns true iff the tuple was new. CHECK-fails on arity
+  /// mismatch in debug builds; silently rejects in release.
+  bool Insert(Tuple t);
+
+  /// Inserts every tuple of `other` (arity must match); returns the number
+  /// of new tuples.
+  size_t InsertAll(const Relation& other);
+
+  bool Contains(const Tuple& t) const;
+
+  void Clear();
+
+  /// Posting list of tuple ids whose values at `cols` equal `key` (same
+  /// order). `cols` must be strictly increasing. Builds/extends the index
+  /// on demand.
+  const std::vector<uint32_t>& Lookup(const std::vector<int>& cols,
+                                      const Tuple& key);
+
+  /// Number of distinct values in column `col` (over current contents).
+  size_t DistinctCount(size_t col) const;
+
+  std::string ToString(size_t max_tuples = 20) const;
+
+ private:
+  struct Index {
+    // Key: projected column values. Value: ids of matching tuples.
+    std::unordered_map<Tuple, std::vector<uint32_t>, TupleHash> postings;
+    size_t built_upto = 0;  // tuples_[0, built_upto) are indexed
+  };
+
+  void ExtendIndex(const std::vector<int>& cols, Index* index);
+
+  std::string name_;
+  size_t arity_ = 0;
+  std::vector<Tuple> tuples_;
+  // Dedup structure: hash -> tuple ids with that hash.
+  std::unordered_map<size_t, std::vector<uint32_t>> dedup_;
+  // Secondary indexes keyed by the (sorted) column list.
+  std::map<std::vector<int>, Index> indexes_;
+};
+
+}  // namespace ldl
+
+#endif  // LDLOPT_STORAGE_RELATION_H_

@@ -1,0 +1,63 @@
+#ifndef LDLOPT_STORAGE_STATISTICS_H_
+#define LDLOPT_STORAGE_STATISTICS_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ast/literal.h"
+#include "storage/database.h"
+
+namespace ldl {
+
+/// Statistics for one relation, in the style of System R catalogs:
+/// cardinality plus per-column distinct counts. These feed the cost model's
+/// selectivity and fan-out estimates (paper section 6: "information about
+/// database statistics and various estimates").
+struct RelationStats {
+  double cardinality = 0;
+  std::vector<double> distinct;  ///< one entry per column
+
+  /// Selectivity of `col = constant`: 1/distinct[col].
+  double EqConstSelectivity(size_t col) const;
+  /// Selectivity of an equi-join on this column against a column with
+  /// `other_distinct` values: 1/max(d1, d2).
+  double EqJoinSelectivity(size_t col, double other_distinct) const;
+  /// Average number of tuples sharing one value of `col`.
+  double FanOut(size_t col) const;
+};
+
+/// A snapshot of statistics for every relation in a database, plus manual
+/// overrides so benchmarks can model hypothetical database states without
+/// materializing them.
+class Statistics {
+ public:
+  Statistics() = default;
+
+  /// Computes stats for every relation currently in `db`.
+  static Statistics Collect(const Database& db);
+
+  /// Registers/overrides stats for a predicate (used by the random-query
+  /// generators and by tests).
+  void Set(const PredicateId& pred, RelationStats stats);
+
+  /// Stats for `pred`; falls back to `default_stats()` when unknown.
+  const RelationStats& Get(const PredicateId& pred) const;
+
+  bool Has(const PredicateId& pred) const { return stats_.count(pred) > 0; }
+
+  /// Stats assumed for predicates we know nothing about (derived predicates
+  /// before estimation, missing relations).
+  const RelationStats& default_stats() const { return default_stats_; }
+  void set_default_stats(RelationStats s) { default_stats_ = std::move(s); }
+
+  std::string ToString() const;
+
+ private:
+  std::unordered_map<PredicateId, RelationStats, PredicateIdHash> stats_;
+  RelationStats default_stats_{100.0, {}};
+};
+
+}  // namespace ldl
+
+#endif  // LDLOPT_STORAGE_STATISTICS_H_

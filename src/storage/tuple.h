@@ -1,0 +1,30 @@
+#ifndef LDLOPT_STORAGE_TUPLE_H_
+#define LDLOPT_STORAGE_TUPLE_H_
+
+#include <string>
+#include <vector>
+
+#include "ast/term.h"
+#include "base/hash.h"
+
+namespace ldl {
+
+/// A stored tuple: a fixed-arity vector of ground terms. Complex terms are
+/// first-class column values (the paper's "complex objects").
+using Tuple = std::vector<Term>;
+
+/// Hash over all columns.
+struct TupleHash {
+  size_t operator()(const Tuple& t) const {
+    size_t seed = t.size();
+    for (const Term& v : t) HashCombine(&seed, v.Hash());
+    return seed;
+  }
+};
+
+/// "(a, 1, f(b))".
+std::string TupleToString(const Tuple& t);
+
+}  // namespace ldl
+
+#endif  // LDLOPT_STORAGE_TUPLE_H_

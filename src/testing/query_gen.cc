@@ -1,0 +1,87 @@
+#include "testing/query_gen.h"
+
+#include <cmath>
+
+#include "base/strings.h"
+
+namespace ldl {
+namespace testing {
+
+const char* QueryShapeToString(QueryShape shape) {
+  switch (shape) {
+    case QueryShape::kChain:
+      return "chain";
+    case QueryShape::kStar:
+      return "star";
+    case QueryShape::kCycle:
+      return "cycle";
+    case QueryShape::kRandom:
+      return "random";
+  }
+  return "?";
+}
+
+namespace {
+
+Term V(size_t i) { return Term::MakeVariable(StrCat("V", i)); }
+
+double LogUniform(Rng* rng, double lo, double hi) {
+  double u = rng->UniformDouble();
+  return std::exp(std::log(lo) + u * (std::log(hi) - std::log(lo)));
+}
+
+}  // namespace
+
+RandomConjunct MakeRandomConjunct(QueryShape shape, size_t n, Rng* rng,
+                                  const ConjunctGenOptions& options) {
+  RandomConjunct out;
+  std::vector<Literal> body;
+  for (size_t i = 0; i < n; ++i) {
+    size_t a, b;
+    switch (shape) {
+      case QueryShape::kChain:
+        a = i;
+        b = i + 1;
+        break;
+      case QueryShape::kStar:
+        a = 0;
+        b = i + 1;
+        break;
+      case QueryShape::kCycle:
+        a = i;
+        b = (i + 1) % n;  // last edge closes the cycle
+        break;
+      case QueryShape::kRandom:
+      default:
+        // Connected: one endpoint among already-used variables. Avoid
+        // repeated variables within one literal (r(V, V)), for which subset
+        // cardinality becomes order-dependent (see cost_model.h).
+        a = i == 0 ? 0 : rng->Uniform(i + 1);
+        b = i + 1;
+        if (rng->Uniform(4) == 0 && i > 1) {
+          b = rng->Uniform(i);  // extra cycle edge
+          while (b == a) b = rng->Uniform(i + 2);
+        }
+        break;
+    }
+    body.push_back(Literal::Make(StrCat("r", i), {V(a), V(b)}));
+
+    double card = LogUniform(rng, options.min_cardinality,
+                             options.max_cardinality);
+    RelationStats rs;
+    rs.cardinality = card;
+    rs.distinct = {
+        std::max(1.0, LogUniform(rng, 1.0, card)),
+        std::max(1.0, LogUniform(rng, 1.0, card)),
+    };
+    out.stats.Set({StrCat("r", i), 2}, rs);
+  }
+  out.rule = Rule(Literal::Make("q", {V(0), V(n)}), body);
+  for (const Literal& lit : body) {
+    out.items.push_back(MakeBaseItem(lit, out.stats, options.cost));
+  }
+  return out;
+}
+
+}  // namespace testing
+}  // namespace ldl

@@ -1,0 +1,49 @@
+#ifndef LDLOPT_TESTING_QUERY_GEN_H_
+#define LDLOPT_TESTING_QUERY_GEN_H_
+
+#include <vector>
+
+#include "ast/program.h"
+#include "base/rng.h"
+#include "optimizer/cost_model.h"
+#include "storage/statistics.h"
+
+namespace ldl {
+namespace testing {
+
+/// Query-graph shapes for the randomly generated conjunctive queries used
+/// to reproduce the [Vil 87] evaluation (experiment E1) and the strategy
+/// comparisons (E2/E3/E5): "randomly picking queries and states of the
+/// database".
+enum class QueryShape {
+  kChain,   ///< r0(V0,V1), r1(V1,V2), ... — acyclic (KBZ's exact domain)
+  kStar,    ///< r_i(V0, V_i) — acyclic, hub-shaped
+  kCycle,   ///< chain plus a closing edge — cyclic query graph
+  kRandom,  ///< random connected binary joins (may be cyclic)
+};
+
+const char* QueryShapeToString(QueryShape shape);
+
+/// One synthetic conjunctive query plus a random database state.
+struct RandomConjunct {
+  Rule rule;          ///< q(...) <- r0(...), r1(...), ...
+  Statistics stats;   ///< random cardinalities/distincts per relation
+  std::vector<ConjunctItem> items;  ///< ready for JoinOrderStrategy
+};
+
+struct ConjunctGenOptions {
+  size_t min_cardinality = 10;
+  size_t max_cardinality = 10000;
+  CostModelOptions cost;
+};
+
+/// Generates a random conjunct of `n` relations with the given shape.
+/// Cardinalities are log-uniform in [min, max]; per-column distinct counts
+/// are uniform in [1, cardinality].
+RandomConjunct MakeRandomConjunct(QueryShape shape, size_t n, Rng* rng,
+                                  const ConjunctGenOptions& options = {});
+
+}  // namespace testing
+}  // namespace ldl
+
+#endif  // LDLOPT_TESTING_QUERY_GEN_H_

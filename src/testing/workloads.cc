@@ -1,0 +1,99 @@
+#include "testing/workloads.h"
+
+#include <vector>
+
+namespace ldl {
+namespace testing {
+
+namespace {
+
+Tuple Pair(int64_t a, int64_t b) {
+  return {Term::MakeInt(a), Term::MakeInt(b)};
+}
+
+}  // namespace
+
+size_t MakeSameGenerationData(size_t fanout, size_t depth, Database* db) {
+  Relation* up = db->GetOrCreate({"up", 2});
+  Relation* dn = db->GetOrCreate({"dn", 2});
+  Relation* flat = db->GetOrCreate({"flat", 2});
+
+  // Levels: level 0 is the root generation (where `flat` links live);
+  // deeper levels fan out downward. up(x, parent): from level k+1 to k.
+  // A query sg(leaf, Y) climbs `up`, crosses `flat`, descends `dn`.
+  std::vector<std::vector<int64_t>> levels;
+  int64_t next_id = 0;
+  levels.push_back({});
+  const size_t root_width = fanout;  // several roots so flat is non-trivial
+  for (size_t i = 0; i < root_width; ++i) levels[0].push_back(next_id++);
+  for (size_t d = 1; d <= depth; ++d) {
+    levels.push_back({});
+    for (int64_t parent : levels[d - 1]) {
+      for (size_t f = 0; f < fanout; ++f) {
+        int64_t child = next_id++;
+        levels[d].push_back(child);
+        up->Insert(Pair(child, parent));
+        dn->Insert(Pair(parent, child));
+      }
+    }
+  }
+  // flat: ring among the root generation.
+  for (size_t i = 0; i < levels[0].size(); ++i) {
+    flat->Insert(Pair(levels[0][i], levels[0][(i + 1) % levels[0].size()]));
+  }
+  return static_cast<size_t>(next_id);
+}
+
+size_t MakeTreeParentData(size_t fanout, size_t depth, Database* db) {
+  Relation* par = db->GetOrCreate({"par", 2});
+  std::vector<int64_t> frontier{0};
+  int64_t next_id = 1;
+  for (size_t d = 0; d < depth; ++d) {
+    std::vector<int64_t> next;
+    for (int64_t parent : frontier) {
+      for (size_t f = 0; f < fanout; ++f) {
+        int64_t child = next_id++;
+        par->Insert(Pair(child, parent));
+        next.push_back(child);
+      }
+    }
+    frontier = std::move(next);
+  }
+  return static_cast<size_t>(next_id);
+}
+
+void MakeRandomDag(size_t n, size_t out_degree, uint64_t seed, Database* db) {
+  Relation* edge = db->GetOrCreate({"edge", 2});
+  Rng rng(seed);
+  for (size_t i = 0; i + 1 < n; ++i) {
+    for (size_t k = 0; k < out_degree; ++k) {
+      size_t j = i + 1 + rng.Uniform(n - i - 1);
+      edge->Insert(Pair(static_cast<int64_t>(i), static_cast<int64_t>(j)));
+    }
+  }
+}
+
+void MakeCycle(size_t n, Database* db) {
+  Relation* edge = db->GetOrCreate({"edge", 2});
+  for (size_t i = 0; i < n; ++i) {
+    edge->Insert(Pair(static_cast<int64_t>(i),
+                      static_cast<int64_t>((i + 1) % n)));
+  }
+}
+
+void MakeRandomRelation(const std::string& name, size_t arity, size_t rows,
+                        size_t domain, uint64_t seed, Database* db) {
+  Relation* rel = db->GetOrCreate({name, arity});
+  Rng rng(seed);
+  for (size_t r = 0; r < rows; ++r) {
+    Tuple t;
+    t.reserve(arity);
+    for (size_t c = 0; c < arity; ++c) {
+      t.push_back(Term::MakeInt(static_cast<int64_t>(rng.Uniform(domain))));
+    }
+    rel->Insert(std::move(t));
+  }
+}
+
+}  // namespace testing
+}  // namespace ldl

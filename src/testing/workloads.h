@@ -1,0 +1,43 @@
+#ifndef LDLOPT_TESTING_WORKLOADS_H_
+#define LDLOPT_TESTING_WORKLOADS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "base/rng.h"
+#include "storage/database.h"
+
+namespace ldl {
+namespace testing {
+
+/// Populates `db` with the classic same-generation substrate:
+///   up/2  : a balanced tree of the given fan-out and depth, edges child->parent
+///           direction up(x, parent);
+///   flat/2: sibling links at the top level;
+///   dn/2  : mirror of up (parent, child), i.e. dn(p, c) iff up(c, p).
+/// Nodes are integers; node 0.. are assigned level by level. Returns the
+/// number of nodes created.
+size_t MakeSameGenerationData(size_t fanout, size_t depth, Database* db);
+
+/// Populates `par/2` with a balanced tree: par(child, parent) edges,
+/// `fanout^depth` leaves. Returns number of nodes.
+size_t MakeTreeParentData(size_t fanout, size_t depth, Database* db);
+
+/// Populates `edge/2` with a random directed acyclic graph of `n` nodes
+/// where each node has `out_degree` random successors among higher ids.
+void MakeRandomDag(size_t n, size_t out_degree, uint64_t seed, Database* db);
+
+/// Populates `edge/2` with a simple directed cycle of `n` nodes
+/// (0 -> 1 -> ... -> n-1 -> 0). Used to exercise counting's divergence
+/// guard and fallback.
+void MakeCycle(size_t n, Database* db);
+
+/// Populates relation `name`/`arity` with `rows` random tuples drawn from
+/// integer domains of size `domain` per column.
+void MakeRandomRelation(const std::string& name, size_t arity, size_t rows,
+                        size_t domain, uint64_t seed, Database* db);
+
+}  // namespace testing
+}  // namespace ldl
+
+#endif  // LDLOPT_TESTING_WORKLOADS_H_

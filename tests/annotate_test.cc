@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "ast/parser.h"
+#include "ldl/ldl.h"
+#include "optimizer/optimizer.h"
+#include "plan/processing_tree.h"
+#include "testing/workloads.h"
+
+namespace ldl {
+namespace {
+
+Program P(const char* text) {
+  auto r = ParseProgram(text);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return *r;
+}
+
+Literal L(const char* text) {
+  auto r = ParseLiteral(text);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return *r;
+}
+
+TEST(AnnotateTreeTest, AndNodeChildrenReorderedByChosenPermutation) {
+  Program p = P("q(X, Z) <- huge(X, Y), tiny(Y, Z).");
+  Statistics stats;
+  stats.Set({"huge", 2}, {100000.0, {100000.0, 300.0}});
+  stats.Set({"tiny", 2}, {10.0, {10.0, 10.0}});
+  auto tree = BuildProcessingTree(p, L("q(X, Z)"));
+  ASSERT_TRUE(tree.ok());
+  PlanNode* and_node = (*tree)->children[0].get();
+  EXPECT_EQ(and_node->children[0]->goal.predicate_name(), "huge");
+
+  Optimizer opt(p, stats);
+  ASSERT_TRUE(opt.AnnotateTree(tree->get()).ok());
+  // After annotation the chosen order (tiny first) is installed.
+  EXPECT_EQ(and_node->children[0]->goal.predicate_name(), "tiny");
+  EXPECT_EQ(and_node->body_order, (std::vector<size_t>{1, 0}));
+  EXPECT_GT(and_node->est_cost, 0.0);
+  EXPECT_GT((*tree)->est_cost, 0.0);
+}
+
+TEST(AnnotateTreeTest, CcNodeGetsMethodLabelAndPipelineFlag) {
+  Program p = P(R"(
+    sg(X, Y) <- flat(X, Y).
+    sg(X, Y) <- up(X, X1), sg(X1, Y1), dn(Y1, Y).
+  )");
+  Statistics stats;
+  stats.Set({"up", 2}, {10000.0, {10000.0, 3333.0}});
+  stats.Set({"dn", 2}, {10000.0, {3333.0, 10000.0}});
+  stats.Set({"flat", 2}, {1000.0, {1000.0, 1000.0}});
+
+  auto bound_tree = BuildProcessingTree(p, L("sg(1, Y)"));
+  ASSERT_TRUE(bound_tree.ok());
+  Optimizer opt_bound(p, stats);
+  ASSERT_TRUE(opt_bound.AnnotateTree(bound_tree->get()).ok());
+  EXPECT_TRUE((*bound_tree)->method == "magic" ||
+              (*bound_tree)->method == "counting")
+      << (*bound_tree)->method;
+  EXPECT_FALSE((*bound_tree)->materialized);  // pipelined (triangle)
+
+  auto free_tree = BuildProcessingTree(p, L("sg(X, Y)"));
+  ASSERT_TRUE(free_tree.ok());
+  Optimizer opt_free(p, stats);
+  ASSERT_TRUE(opt_free.AnnotateTree(free_tree->get()).ok());
+  EXPECT_EQ((*free_tree)->method, "seminaive");
+  EXPECT_TRUE((*free_tree)->materialized);  // square node
+}
+
+TEST(AnnotateTreeTest, ScanNodesGetIndexLabelsUnderBindings) {
+  Program p = P("q(X, Z) <- a(X, Y), b(Y, Z).");
+  Statistics stats;
+  stats.Set({"a", 2}, {1000.0, {100.0, 100.0}});
+  stats.Set({"b", 2}, {1000.0, {100.0, 100.0}});
+  auto tree = BuildProcessingTree(p, L("q(1, Z)"));
+  ASSERT_TRUE(tree.ok());
+  Optimizer opt(p, stats);
+  ASSERT_TRUE(opt.AnnotateTree(tree->get()).ok());
+  const PlanNode& and_node = *(*tree)->children[0];
+  // First child runs with X bound (query constant); second with Y bound
+  // (sideways information passing): both are index scans.
+  EXPECT_EQ(and_node.children[0]->method, "index-scan");
+  EXPECT_EQ(and_node.children[1]->method, "index-scan");
+  EXPECT_EQ(and_node.children[0]->binding.BoundCount(), 1u);
+  EXPECT_EQ(and_node.children[1]->binding.BoundCount(), 1u);
+}
+
+TEST(AnnotateTreeTest, FacadeExplainTree) {
+  LdlSystem sys;
+  ASSERT_TRUE(sys.LoadProgram(R"(
+    anc(X, Y) <- par(X, Y).
+    anc(X, Y) <- par(X, Z), anc(Z, Y).
+  )")
+                  .ok());
+  testing::MakeTreeParentData(3, 5, sys.database());
+  sys.RefreshStatistics();
+  auto text = sys.ExplainTree("anc(1, Y)");
+  ASSERT_TRUE(text.ok()) << text.status();
+  EXPECT_NE(text->find("CC"), std::string::npos);
+  EXPECT_NE(text->find("cost="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ldl

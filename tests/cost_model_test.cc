@@ -1,0 +1,140 @@
+#include "optimizer/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include "ast/parser.h"
+
+namespace ldl {
+namespace {
+
+Literal L(const char* text) {
+  auto r = ParseLiteral(text);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return *r;
+}
+
+Statistics MakeStats() {
+  Statistics stats;
+  stats.Set({"big", 2}, {10000.0, {100.0, 10000.0}});
+  stats.Set({"small", 2}, {10.0, {10.0, 10.0}});
+  stats.Set({"mid", 2}, {1000.0, {1000.0, 50.0}});
+  return stats;
+}
+
+TEST(CostModelTest, BaseItemBoundArgumentReducesCardinality) {
+  Statistics stats = MakeStats();
+  CostModelOptions options;
+  ConjunctItem item = MakeBaseItem(L("big(X, Y)"), stats, options);
+  PlanEstimate free_est = item.estimate(Adornment::AllFree(2), 1.0);
+  PlanEstimate bound_est = item.estimate(*Adornment::FromString("bf"), 1.0);
+  EXPECT_DOUBLE_EQ(free_est.card, 10000.0);
+  EXPECT_DOUBLE_EQ(bound_est.card, 100.0);  // 10000 / 100 distinct
+  EXPECT_LT(bound_est.per_binding, free_est.per_binding);
+}
+
+TEST(CostModelTest, IndexDisabledFallsBackToScan) {
+  Statistics stats = MakeStats();
+  CostModelOptions options;
+  options.enable_index_join = false;
+  ConjunctItem item = MakeBaseItem(L("big(X, Y)"), stats, options);
+  PlanEstimate bound_est = item.estimate(*Adornment::FromString("bf"), 1.0);
+  EXPECT_DOUBLE_EQ(bound_est.per_binding, 10000.0 * options.tuple_cost);
+}
+
+TEST(CostModelTest, SelectiveFirstOrderIsCheaper) {
+  Statistics stats = MakeStats();
+  CostModel model;
+  std::vector<ConjunctItem> items = {
+      MakeBaseItem(L("big(X, Y)"), stats, model.options()),
+      MakeBaseItem(L("small(Y, Z)"), stats, model.options()),
+  };
+  BoundVars none;
+  SequenceCost big_first = model.CostSequence(items, {0, 1}, none);
+  SequenceCost small_first = model.CostSequence(items, {1, 0}, none);
+  ASSERT_TRUE(big_first.safe && small_first.safe);
+  EXPECT_LT(small_first.cost, big_first.cost);
+  // Cardinality estimates are order-independent.
+  EXPECT_NEAR(big_first.out_card, small_first.out_card,
+              1e-6 * big_first.out_card);
+}
+
+TEST(CostModelTest, HeadBindingActsAsSelection) {
+  Statistics stats = MakeStats();
+  CostModel model;
+  std::vector<ConjunctItem> items = {
+      MakeBaseItem(L("big(X, Y)"), stats, model.options())};
+  BoundVars free_init, bound_init;
+  bound_init.Bind("X");
+  SequenceCost free_cost = model.CostSequence(items, {0}, free_init);
+  SequenceCost bound_cost = model.CostSequence(items, {0}, bound_init);
+  EXPECT_LT(bound_cost.cost, free_cost.cost);
+  EXPECT_LT(bound_cost.out_card, free_cost.out_card);
+}
+
+TEST(CostModelTest, UnboundComparisonIsInfinite) {
+  CostModel model;
+  std::vector<ConjunctItem> items;
+  ConjunctItem cmp;
+  cmp.literal = Literal::MakeBuiltin(BuiltinKind::kGt, Term::MakeVariable("X"),
+                                     Term::MakeInt(3));
+  items.push_back(cmp);
+  BoundVars none;
+  SequenceCost sc = model.CostSequence(items, {0}, none);
+  EXPECT_FALSE(sc.safe);
+  EXPECT_EQ(sc.cost, kInfiniteCost);
+}
+
+TEST(CostModelTest, EqBindsAndComparisonFilters) {
+  Statistics stats = MakeStats();
+  CostModel model;
+  std::vector<ConjunctItem> items = {
+      MakeBaseItem(L("big(X, Y)"), stats, model.options())};
+  ConjunctItem eq;
+  eq.literal = Literal::MakeBuiltin(
+      BuiltinKind::kEq, Term::MakeVariable("Z"),
+      Term::MakeFunction("+", {Term::MakeVariable("Y"), Term::MakeInt(1)}));
+  items.push_back(eq);
+  ConjunctItem lt;
+  lt.literal = Literal::MakeBuiltin(BuiltinKind::kLt, Term::MakeVariable("Z"),
+                                    Term::MakeInt(100));
+  items.push_back(lt);
+  BoundVars none;
+  // Scan, then bind Z = Y+1, then filter Z < 100: safe.
+  SequenceCost ok = model.CostSequence(items, {0, 1, 2}, none);
+  EXPECT_TRUE(ok.safe);
+  EXPECT_LT(ok.out_card, 10000.0);  // comparison selectivity applied
+  // Filter before binding: unsafe order.
+  SequenceCost bad = model.CostSequence(items, {0, 2, 1}, none);
+  EXPECT_FALSE(bad.safe);
+}
+
+TEST(CostModelTest, NegationRequiresBoundArgs) {
+  Statistics stats = MakeStats();
+  CostModel model;
+  ConjunctItem pos = MakeBaseItem(L("big(X, Y)"), stats, model.options());
+  ConjunctItem neg = MakeBaseItem(L("small(X, Y)"), stats, model.options());
+  neg.literal = Literal::MakeNegated(
+      "small", {Term::MakeVariable("X"), Term::MakeVariable("Y")});
+  std::vector<ConjunctItem> items = {pos, neg};
+  BoundVars none;
+  EXPECT_TRUE(model.CostSequence(items, {0, 1}, none).safe);
+  EXPECT_FALSE(model.CostSequence(items, {1, 0}, none).safe);
+}
+
+TEST(CostModelTest, CostIsMonotoneInCardinality) {
+  // Larger relations cost at least as much (section 6's monotonicity).
+  CostModel model;
+  Statistics small_stats, big_stats;
+  small_stats.Set({"r", 2}, {100.0, {100.0, 100.0}});
+  big_stats.Set({"r", 2}, {100000.0, {100.0, 100000.0}});
+  std::vector<ConjunctItem> small_items = {
+      MakeBaseItem(L("r(X, Y)"), small_stats, model.options())};
+  std::vector<ConjunctItem> big_items = {
+      MakeBaseItem(L("r(X, Y)"), big_stats, model.options())};
+  BoundVars none;
+  EXPECT_LE(model.CostSequence(small_items, {0}, none).cost,
+            model.CostSequence(big_items, {0}, none).cost);
+}
+
+}  // namespace
+}  // namespace ldl

@@ -1,0 +1,309 @@
+#include "engine/fixpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "ast/parser.h"
+#include "engine/query_eval.h"
+#include "testing/workloads.h"
+
+namespace ldl {
+namespace {
+
+Program P(const char* text) {
+  auto r = ParseProgram(text);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return *r;
+}
+
+Literal L(const char* text) {
+  auto r = ParseLiteral(text);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return *r;
+}
+
+constexpr const char* kAncestorRules = R"(
+  anc(X, Y) <- par(X, Y).
+  anc(X, Y) <- par(X, Z), anc(Z, Y).
+)";
+
+constexpr const char* kSgRules = R"(
+  sg(X, Y) <- flat(X, Y).
+  sg(X, Y) <- up(X, X1), sg(X1, Y1), dn(Y1, Y).
+)";
+
+std::vector<Tuple> Sorted(const Relation& r) {
+  std::vector<Tuple> out = r.tuples();
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(FixpointTest, TransitiveClosureOnChain) {
+  Program p = P(kAncestorRules);
+  Database db;
+  Relation* par = db.GetOrCreate({"par", 2});
+  for (int64_t i = 0; i < 5; ++i) {
+    par->Insert({Term::MakeInt(i), Term::MakeInt(i + 1)});
+  }
+  Database scratch;
+  FixpointStats stats;
+  ASSERT_TRUE(EvaluateProgram(p, RecursionMethod::kSemiNaive, &db, &scratch,
+                              &stats, {})
+                  .ok());
+  // Chain of 6 nodes: 5+4+3+2+1 = 15 ancestor pairs.
+  EXPECT_EQ(scratch.Find({"anc", 2})->size(), 15u);
+  EXPECT_GT(stats.iterations, 1u);
+}
+
+TEST(FixpointTest, NaiveAndSemiNaiveAgree) {
+  Program p = P(kAncestorRules);
+  Database db;
+  testing::MakeTreeParentData(2, 5, &db);
+  Database s1, s2;
+  FixpointStats st1, st2;
+  ASSERT_TRUE(EvaluateProgram(p, RecursionMethod::kNaive, &db, &s1, &st1, {})
+                  .ok());
+  ASSERT_TRUE(
+      EvaluateProgram(p, RecursionMethod::kSemiNaive, &db, &s2, &st2, {})
+          .ok());
+  EXPECT_EQ(Sorted(*s1.Find({"anc", 2})), Sorted(*s2.Find({"anc", 2})));
+  // Semi-naive must do strictly less join work on a multi-level recursion.
+  EXPECT_LT(st2.counters.tuples_examined, st1.counters.tuples_examined);
+}
+
+TEST(FixpointTest, MutualRecursionEvenOdd) {
+  Program p = P(R"(
+    even(X) <- zero(X).
+    even(X) <- succ(Y, X), odd(Y).
+    odd(X)  <- succ(Y, X), even(Y).
+  )");
+  Database db;
+  db.GetOrCreate({"zero", 1})->Insert({Term::MakeInt(0)});
+  Relation* succ = db.GetOrCreate({"succ", 2});
+  for (int64_t i = 0; i < 10; ++i) {
+    succ->Insert({Term::MakeInt(i), Term::MakeInt(i + 1)});
+  }
+  Database scratch;
+  FixpointStats stats;
+  ASSERT_TRUE(EvaluateProgram(p, RecursionMethod::kSemiNaive, &db, &scratch,
+                              &stats, {})
+                  .ok());
+  EXPECT_EQ(scratch.Find({"even", 1})->size(), 6u);  // 0,2,4,6,8,10
+  EXPECT_EQ(scratch.Find({"odd", 1})->size(), 5u);   // 1,3,5,7,9
+}
+
+TEST(FixpointTest, StratifiedNegation) {
+  Program p = P(R"(
+    reach(X) <- source(X).
+    reach(Y) <- reach(X), edge(X, Y).
+    node(X) <- edge(X, Y).
+    node(Y) <- edge(X, Y).
+    unreachable(X) <- node(X), not reach(X).
+  )");
+  Database db;
+  Relation* edge = db.GetOrCreate({"edge", 2});
+  edge->Insert({Term::MakeInt(1), Term::MakeInt(2)});
+  edge->Insert({Term::MakeInt(2), Term::MakeInt(3)});
+  edge->Insert({Term::MakeInt(4), Term::MakeInt(5)});
+  db.GetOrCreate({"source", 1})->Insert({Term::MakeInt(1)});
+  Database scratch;
+  FixpointStats stats;
+  ASSERT_TRUE(EvaluateProgram(p, RecursionMethod::kSemiNaive, &db, &scratch,
+                              &stats, {})
+                  .ok());
+  EXPECT_EQ(scratch.Find({"reach", 1})->size(), 3u);        // 1,2,3
+  EXPECT_EQ(scratch.Find({"unreachable", 1})->size(), 2u);  // 4,5
+}
+
+TEST(FixpointTest, NonStratifiedRejected) {
+  Program p = P("win(X) <- move(X, Y), not win(Y).");
+  Database db, scratch;
+  FixpointStats stats;
+  Status st =
+      EvaluateProgram(p, RecursionMethod::kSemiNaive, &db, &scratch, &stats, {});
+  EXPECT_FALSE(st.ok());
+}
+
+TEST(FixpointTest, IterationGuardTripsOnUnsafeArithmetic) {
+  // nat(X+1) <- nat(X): infinite — the guard must stop it.
+  Program p = P(R"(
+    nat(0).
+    nat(Y) <- nat(X), Y = X + 1.
+  )");
+  // Move the inline fact into the database.
+  Database db, scratch;
+  Program rules;
+  for (const Rule& r : p.rules()) rules.AddRule(r);
+  for (const Literal& f : p.facts()) ASSERT_TRUE(db.AddFact(f).ok());
+  // nat must count as derived; re-add the fact as a bodiless rule.
+  rules.AddRule(Rule(L("nat(0)"), {}));
+  FixpointOptions options;
+  options.max_iterations = 50;
+  FixpointStats stats;
+  Status st = EvaluateProgram(rules, RecursionMethod::kSemiNaive, &db,
+                              &scratch, &stats, options);
+  EXPECT_EQ(st.code(), StatusCode::kResourceExhausted) << st;
+}
+
+TEST(FixpointTest, ComplexTermsFlowThroughRecursion) {
+  // Build lists by recursion over a bounded set: path accumulation.
+  Program p = P(R"(
+    path(X, Y, [X, Y]) <- edge(X, Y).
+    path(X, Z, [X | P]) <- edge(X, Y), path(Y, Z, P).
+  )");
+  Database db;
+  Relation* edge = db.GetOrCreate({"edge", 2});
+  edge->Insert({Term::MakeInt(1), Term::MakeInt(2)});
+  edge->Insert({Term::MakeInt(2), Term::MakeInt(3)});
+  Database scratch;
+  FixpointStats stats;
+  ASSERT_TRUE(EvaluateProgram(p, RecursionMethod::kSemiNaive, &db, &scratch,
+                              &stats, {})
+                  .ok());
+  Relation* path = scratch.Find({"path", 3});
+  ASSERT_NE(path, nullptr);
+  EXPECT_EQ(path->size(), 3u);
+  bool found = false;
+  for (const Tuple& t : path->tuples()) {
+    if (t[2].ToString() == "[1, 2, 3]") found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(FixpointTest, RuleOrderOverrideChangesWorkNotAnswers) {
+  Program p = P("q(X, Z) <- a(X, Y), b(Y, Z), c(Z).");
+  Database db;
+  testing::MakeRandomRelation("a", 2, 200, 50, 1, &db);
+  testing::MakeRandomRelation("b", 2, 200, 50, 2, &db);
+  testing::MakeRandomRelation("c", 1, 10, 50, 3, &db);
+
+  Database s1, s2;
+  FixpointStats st1, st2;
+  ASSERT_TRUE(
+      EvaluateProgram(p, RecursionMethod::kSemiNaive, &db, &s1, &st1, {})
+          .ok());
+  FixpointOptions options;
+  options.rule_orders[0] = {2, 1, 0};  // start from the selective c
+  ASSERT_TRUE(EvaluateProgram(p, RecursionMethod::kSemiNaive, &db, &s2, &st2,
+                              options)
+                  .ok());
+  EXPECT_EQ(Sorted(*s1.Find({"q", 2})), Sorted(*s2.Find({"q", 2})));
+  EXPECT_NE(st1.counters.tuples_examined, st2.counters.tuples_examined);
+}
+
+class SgMethodsTest
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t>> {};
+
+// Property: all four methods give identical answers on bound sg queries,
+// across a sweep of tree shapes.
+TEST_P(SgMethodsTest, AllMethodsAgreeOnBoundQuery) {
+  auto [fanout, depth] = GetParam();
+  Program p = P(kSgRules);
+  Database db;
+  size_t nodes = testing::MakeSameGenerationData(fanout, depth, &db);
+  ASSERT_GT(nodes, 0u);
+  // Query: same generation of the first leaf-level node (bound, free).
+  // Node ids: the last level starts after all previous levels.
+  int64_t probe = static_cast<int64_t>(nodes - 1);
+  Literal goal = Literal::Make(
+      "sg", {Term::MakeInt(probe), Term::MakeVariable("Y")});
+
+  QueryEvalOptions options;
+  options.counting_fallback = false;
+  auto naive = EvaluateQuery(p, &db, goal, RecursionMethod::kNaive, options);
+  auto semi = EvaluateQuery(p, &db, goal, RecursionMethod::kSemiNaive, options);
+  auto magic = EvaluateQuery(p, &db, goal, RecursionMethod::kMagic, options);
+  auto counting =
+      EvaluateQuery(p, &db, goal, RecursionMethod::kCounting, options);
+  ASSERT_TRUE(naive.ok()) << naive.status();
+  ASSERT_TRUE(semi.ok()) << semi.status();
+  ASSERT_TRUE(magic.ok()) << magic.status();
+  ASSERT_TRUE(counting.ok()) << counting.status();
+
+  EXPECT_EQ(Sorted(naive->answers), Sorted(semi->answers));
+  EXPECT_EQ(Sorted(semi->answers), Sorted(magic->answers));
+  EXPECT_EQ(Sorted(magic->answers), Sorted(counting->answers));
+  EXPECT_FALSE(magic->answers.empty());
+
+  // The focused methods must examine fewer tuples than full evaluation.
+  EXPECT_LE(magic->stats.counters.tuples_examined,
+            semi->stats.counters.tuples_examined);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TreeShapes, SgMethodsTest,
+    ::testing::Values(std::make_tuple(2, 3), std::make_tuple(2, 5),
+                      std::make_tuple(3, 3), std::make_tuple(3, 4),
+                      std::make_tuple(4, 3), std::make_tuple(5, 2)));
+
+TEST(MagicTest, TransitiveClosureBoundQueryTouchesLess) {
+  Program p = P(kAncestorRules);
+  Database db;
+  testing::MakeTreeParentData(3, 6, &db);
+  Literal goal = L("anc(5, Y)");
+
+  auto semi = EvaluateQuery(p, &db, goal, RecursionMethod::kSemiNaive, {});
+  auto magic = EvaluateQuery(p, &db, goal, RecursionMethod::kMagic, {});
+  ASSERT_TRUE(semi.ok()) << semi.status();
+  ASSERT_TRUE(magic.ok()) << magic.status();
+  EXPECT_EQ(Sorted(semi->answers), Sorted(magic->answers));
+  EXPECT_LT(magic->stats.counters.tuples_examined,
+            semi->stats.counters.tuples_examined / 2);
+}
+
+TEST(CountingTest, FallsBackOnCyclicData) {
+  Program p = P(R"(
+    tc(X, Y) <- edge(X, Y).
+    tc(X, Y) <- edge(X, Z), tc(Z, Y).
+  )");
+  Database db;
+  testing::MakeCycle(10, &db);
+  QueryEvalOptions options;
+  options.fixpoint.max_iterations = 500;
+  auto result =
+      EvaluateQuery(p, &db, L("tc(0, Y)"), RecursionMethod::kCounting, options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->method_used, RecursionMethod::kMagic);
+  EXPECT_FALSE(result->note.empty());
+  EXPECT_EQ(result->answers.size(), 10u);
+}
+
+TEST(CountingTest, InapplicableNonLinearFallsBack) {
+  Program p = P(R"(
+    tc(X, Y) <- edge(X, Y).
+    tc(X, Y) <- tc(X, Z), tc(Z, Y).
+  )");
+  Database db;
+  testing::MakeRandomDag(30, 2, 7, &db);
+  auto result =
+      EvaluateQuery(p, &db, L("tc(0, Y)"), RecursionMethod::kCounting, {});
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->method_used, RecursionMethod::kMagic);
+}
+
+TEST(QueryEvalTest, BaseRelationQueryNeedsNoRules) {
+  Program p;
+  Database db;
+  testing::MakeTreeParentData(2, 3, &db);
+  auto result =
+      EvaluateQuery(p, &db, L("par(1, Y)"), RecursionMethod::kSemiNaive, {});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->answers.size(), 1u);
+}
+
+TEST(QueryEvalTest, ReachableSubprogramPrunesUnrelatedRules) {
+  Program p = P(R"(
+    a(X) <- base1(X).
+    b(X) <- base2(X).
+    c(X) <- a(X).
+  )");
+  Program sub = ReachableSubprogram(p, L("c(X)"));
+  EXPECT_EQ(sub.rules().size(), 2u);
+  EXPECT_TRUE(sub.IsDerived({"c", 1}));
+  EXPECT_TRUE(sub.IsDerived({"a", 1}));
+  EXPECT_FALSE(sub.IsDerived({"b", 1}));
+}
+
+}  // namespace
+}  // namespace ldl

@@ -1,0 +1,223 @@
+#include "plan/processing_tree.h"
+
+#include <gtest/gtest.h>
+
+#include "ast/parser.h"
+#include "plan/transform.h"
+
+namespace ldl {
+namespace {
+
+Program P(const char* text) {
+  auto r = ParseProgram(text);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return *r;
+}
+
+Literal L(const char* text) {
+  auto r = ParseLiteral(text);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return *r;
+}
+
+// The rule base of the paper's Figure 2-1 shape: a derived predicate over
+// joins/unions plus a recursive clique.
+constexpr const char* kFigureRules = R"(
+  p1(X, Y) <- b1(X, Z), p2(Z, Y).
+  p1(X, Y) <- b2(X, Y).
+  p2(X, Y) <- b3(X, Z), p2(Z, Y).
+  p2(X, Y) <- b4(X, Y).
+)";
+
+TEST(ProcessingTreeTest, NonRecursiveAndOrShape) {
+  Program p = P(R"(
+    gp(X, Z) <- par(X, Y), par(Y, Z).
+  )");
+  auto tree = BuildProcessingTree(p, L("gp(1, Z)"));
+  ASSERT_TRUE(tree.ok()) << tree.status();
+  const PlanNode& root = **tree;
+  EXPECT_EQ(root.kind, PlanNodeKind::kOr);
+  ASSERT_EQ(root.children.size(), 1u);
+  const PlanNode& and_node = *root.children[0];
+  EXPECT_EQ(and_node.kind, PlanNodeKind::kAnd);
+  EXPECT_EQ(and_node.children.size(), 2u);
+  EXPECT_EQ(and_node.children[0]->kind, PlanNodeKind::kScan);
+  // Query binding is recorded on the OR node (PS pushed onto it).
+  EXPECT_EQ(root.binding.ToString(), "bf");
+}
+
+TEST(ProcessingTreeTest, CliqueContractionProducesCcNode) {
+  Program p = P(kFigureRules);
+  auto tree = BuildProcessingTree(p, L("p1(X, Y)"));
+  ASSERT_TRUE(tree.ok()) << tree.status();
+  // p1 is an OR over two AND nodes; the first AND has a CC child for p2's
+  // clique (recursive), whose own children are the non-clique operands.
+  const PlanNode& root = **tree;
+  ASSERT_EQ(root.children.size(), 2u);
+  const PlanNode& and1 = *root.children[0];
+  ASSERT_EQ(and1.children.size(), 2u);
+  const PlanNode& cc = *and1.children[1];
+  EXPECT_EQ(cc.kind, PlanNodeKind::kCc);
+  ASSERT_EQ(cc.clique_predicates.size(), 1u);
+  EXPECT_EQ(cc.clique_predicates[0].ToString(), "p2/2");
+  // CC operands: b4 (exit) and b3 (recursive rule's base literal) — the
+  // clique literal itself is contracted away.
+  EXPECT_EQ(cc.children.size(), 2u);
+  for (const auto& child : cc.children) {
+    EXPECT_EQ(child->kind, PlanNodeKind::kScan);
+  }
+  // The contracted graph is an acyclic tree: rendering terminates and
+  // counts a bounded number of nodes.
+  EXPECT_GT(TreeSize(root), 5u);
+}
+
+TEST(ProcessingTreeTest, MutualRecursionSingleCc) {
+  Program p = P(R"(
+    even(X) <- zero(X).
+    even(X) <- succ(Y, X), odd(Y).
+    odd(X) <- succ(Y, X), even(Y).
+  )");
+  auto tree = BuildProcessingTree(p, L("even(4)"));
+  ASSERT_TRUE(tree.ok()) << tree.status();
+  EXPECT_EQ((*tree)->kind, PlanNodeKind::kCc);
+  EXPECT_EQ((*tree)->clique_predicates.size(), 2u);
+}
+
+TEST(TransformTest, MpFlipsMaterialization) {
+  Program p = P("gp(X, Z) <- par(X, Y), par(Y, Z).");
+  auto tree = BuildProcessingTree(p, L("gp(X, Z)"));
+  ASSERT_TRUE(tree.ok());
+  PlanNode* node = tree->get();
+  EXPECT_TRUE(node->materialized);
+  ASSERT_TRUE(TransformMp(node).ok());
+  EXPECT_FALSE(node->materialized);
+  ASSERT_TRUE(TransformMp(node).ok());  // involution
+  EXPECT_TRUE(node->materialized);
+}
+
+TEST(TransformTest, PrPermutesAndChildren) {
+  Program p = P("q(X) <- a(X), b(X), c(X).");
+  auto tree = BuildProcessingTree(p, L("q(X)"));
+  ASSERT_TRUE(tree.ok());
+  PlanNode* and_node = (*tree)->children[0].get();
+  ASSERT_EQ(and_node->kind, PlanNodeKind::kAnd);
+  ASSERT_TRUE(TransformPr(and_node, {2, 0, 1}).ok());
+  EXPECT_EQ(and_node->children[0]->goal.predicate_name(), "c");
+  EXPECT_EQ(and_node->body_order, (std::vector<size_t>{2, 0, 1}));
+  // Applying the inverse permutation restores the original.
+  ASSERT_TRUE(TransformPr(and_node, {1, 2, 0}).ok());
+  EXPECT_EQ(and_node->body_order, (std::vector<size_t>{0, 1, 2}));
+  // Invalid permutations are rejected.
+  EXPECT_FALSE(TransformPr(and_node, {0, 0, 1}).ok());
+  EXPECT_FALSE(TransformPr(and_node, {0, 1}).ok());
+}
+
+TEST(TransformTest, ElValidatesLabels) {
+  Program p = P("q(X) <- a(X), b(X).");
+  auto tree = BuildProcessingTree(p, L("q(X)"));
+  ASSERT_TRUE(tree.ok());
+  PlanNode* and_node = (*tree)->children[0].get();
+  EXPECT_TRUE(TransformEl(and_node, "hash-join").ok());
+  EXPECT_EQ(and_node->method, "hash-join");
+  EXPECT_FALSE(TransformEl(and_node, "seminaive").ok());  // CC-only label
+  PlanNode* or_node = tree->get();
+  EXPECT_FALSE(TransformEl(or_node, "hash-join").ok());
+}
+
+TEST(TransformTest, PaInstallsCPermutationAndMethod) {
+  Program p = P(R"(
+    sg(X, Y) <- flat(X, Y).
+    sg(X, Y) <- up(X, X1), sg(X1, Y1), dn(Y1, Y).
+  )");
+  auto tree = BuildProcessingTree(p, L("sg(1, Y)"));
+  ASSERT_TRUE(tree.ok());
+  PlanNode* cc = tree->get();
+  ASSERT_EQ(cc->kind, PlanNodeKind::kCc);
+  ASSERT_EQ(cc->clique_rules.size(), 2u);
+  // One permutation per clique rule (exit has 1 literal, recursive has 3).
+  std::vector<std::vector<size_t>> c_perm = {{0}, {2, 1, 0}};
+  ASSERT_TRUE(TransformPa(cc, c_perm, "magic").ok());
+  EXPECT_EQ(cc->method, "magic");
+  EXPECT_EQ(cc->clique_orders[1], (std::vector<size_t>{2, 1, 0}));
+  // Wrong arity of the c-permutation is rejected.
+  EXPECT_FALSE(TransformPa(cc, {{0}}, "magic").ok());
+}
+
+TEST(TransformTest, PushSelectAndProject) {
+  Program p = P("q(X, Y) <- a(X, Y).");
+  auto tree = BuildProcessingTree(p, L("q(X, Y)"));
+  ASSERT_TRUE(tree.ok());
+  PlanNode* node = tree->get();
+  ASSERT_TRUE(TransformPushSelect(node, 0).ok());
+  EXPECT_TRUE(node->binding.IsBound(0));
+  ASSERT_TRUE(TransformPullSelect(node, 0).ok());
+  EXPECT_FALSE(node->binding.IsBound(0));
+  EXPECT_FALSE(TransformPushSelect(node, 5).ok());
+
+  ASSERT_TRUE(TransformPushProject(node, {1, 0, 1}).ok());
+  EXPECT_EQ(node->projection, (std::vector<size_t>{0, 1}));  // sorted, deduped
+  ASSERT_TRUE(TransformPullProject(node).ok());
+  EXPECT_TRUE(node->projection.empty());
+}
+
+TEST(TransformTest, FlattenDistributesJoinOverUnion) {
+  // Figure 4-2: AND over an OR becomes an OR of ANDs.
+  Program p = P(R"(
+    u(X, Y) <- alt1(X, Y).
+    u(X, Y) <- alt2(X, Y).
+    q(X, Z) <- base(X, Y), u(Y, Z).
+  )");
+  auto tree = BuildProcessingTree(p, L("q(X, Z)"));
+  ASSERT_TRUE(tree.ok());
+  PlanNode* and_node = (*tree)->children[0].get();
+  ASSERT_EQ(and_node->kind, PlanNodeKind::kAnd);
+  ASSERT_EQ(and_node->children[1]->kind, PlanNodeKind::kOr);
+
+  auto flattened = TransformFlatten(*and_node, 1);
+  ASSERT_TRUE(flattened.ok()) << flattened.status();
+  EXPECT_EQ((*flattened)->kind, PlanNodeKind::kOr);
+  ASSERT_EQ((*flattened)->children.size(), 2u);
+  for (const auto& child : (*flattened)->children) {
+    EXPECT_EQ(child->kind, PlanNodeKind::kAnd);
+    EXPECT_EQ(child->children.size(), 2u);
+    EXPECT_EQ(child->children[1]->kind, PlanNodeKind::kAnd);  // inlined alt
+  }
+  // Unflatten inverts the rewrite back to a single AND over an OR.
+  auto unflattened = TransformUnflatten(**flattened);
+  ASSERT_TRUE(unflattened.ok()) << unflattened.status();
+  EXPECT_EQ((*unflattened)->kind, PlanNodeKind::kAnd);
+  EXPECT_EQ((*unflattened)->children[1]->kind, PlanNodeKind::kOr);
+}
+
+TEST(TransformTest, FlattenRequiresOrChild) {
+  Program p = P("q(X) <- a(X), b(X).");
+  auto tree = BuildProcessingTree(p, L("q(X)"));
+  ASSERT_TRUE(tree.ok());
+  PlanNode* and_node = (*tree)->children[0].get();
+  EXPECT_FALSE(TransformFlatten(*and_node, 0).ok());
+}
+
+TEST(ProcessingTreeTest, ToStringRendersTree) {
+  Program p = P(kFigureRules);
+  auto tree = BuildProcessingTree(p, L("p1(1, Y)"));
+  ASSERT_TRUE(tree.ok());
+  std::string text = (*tree)->ToString();
+  EXPECT_NE(text.find("OR"), std::string::npos);
+  EXPECT_NE(text.find("AND"), std::string::npos);
+  EXPECT_NE(text.find("CC"), std::string::npos);
+  EXPECT_NE(text.find("SCAN"), std::string::npos);
+}
+
+TEST(ProcessingTreeTest, CloneIsDeepAndEqualStructure) {
+  Program p = P(kFigureRules);
+  auto tree = BuildProcessingTree(p, L("p1(1, Y)"));
+  ASSERT_TRUE(tree.ok());
+  auto copy = (*tree)->Clone();
+  EXPECT_EQ(copy->ToString(), (*tree)->ToString());
+  // Mutating the copy leaves the original intact.
+  copy->children[0]->method = "hash-join";
+  EXPECT_NE(copy->ToString(), (*tree)->ToString());
+}
+
+}  // namespace
+}  // namespace ldl

@@ -1,0 +1,108 @@
+#include "ast/program.h"
+
+#include <gtest/gtest.h>
+
+#include "ast/parser.h"
+
+namespace ldl {
+namespace {
+
+Program P(const char* text) {
+  auto r = ParseProgram(text);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return *r;
+}
+
+Rule FirstRule(const char* text) { return P(text).rules()[0]; }
+
+TEST(RuleTest, VariablesInFirstOccurrenceOrder) {
+  Rule r = FirstRule("q(A, B) <- r(B, C), s(C, A, D).");
+  EXPECT_EQ(r.Variables(),
+            (std::vector<std::string>{"A", "B", "C", "D"}));
+}
+
+TEST(RuleTest, RangeRestriction) {
+  EXPECT_TRUE(FirstRule("q(X) <- r(X).").IsRangeRestricted());
+  EXPECT_FALSE(FirstRule("q(X, Z) <- r(X).").IsRangeRestricted());
+  // Z grounded through the eq chain: Z = Y + 1, Y from r.
+  EXPECT_TRUE(
+      FirstRule("q(Z) <- r(Y), Z = Y + 1.").IsRangeRestricted());
+  // Chain of two equalities.
+  EXPECT_TRUE(
+      FirstRule("q(W) <- r(Y), Z = Y + 1, W = Z * 2.").IsRangeRestricted());
+  // Negated literals ground nothing.
+  EXPECT_FALSE(FirstRule("q(X) <- not r(X).").IsRangeRestricted());
+  // Comparison grounds nothing either.
+  EXPECT_FALSE(FirstRule("q(X) <- r(Y), X > Y.").IsRangeRestricted());
+}
+
+TEST(ProgramTest, BaseAndDerivedPredicates) {
+  Program p = P(R"(
+    a(X) <- b(X), c(X, Y).
+    c(X, Y) <- d(X), e(Y).
+  )");
+  auto derived = p.DerivedPredicates();
+  ASSERT_EQ(derived.size(), 2u);
+  EXPECT_EQ(derived[0].ToString(), "a/1");
+  EXPECT_EQ(derived[1].ToString(), "c/2");
+  auto base = p.BasePredicates();
+  ASSERT_EQ(base.size(), 3u);  // b, d, e
+  EXPECT_EQ(base[0].ToString(), "b/1");
+}
+
+TEST(ProgramTest, RulesForLookup) {
+  Program p = P(R"(
+    a(X) <- b(X).
+    a(X) <- c(X).
+    d(X) <- a(X).
+  )");
+  EXPECT_EQ(p.RulesFor({"a", 1}).size(), 2u);
+  EXPECT_EQ(p.RulesFor({"d", 1}).size(), 1u);
+  EXPECT_TRUE(p.RulesFor({"nope", 1}).empty());
+}
+
+TEST(ProgramTest, ToStringRoundTripsThroughParser) {
+  Program p = P(R"(
+    f(1, a).
+    q(X, Y) <- r(X, Z), s(Z, Y), X != Y.
+    q(1, Y)?
+  )");
+  auto reparsed = ParseProgram(p.ToString());
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status() << "\n" << p.ToString();
+  EXPECT_EQ(reparsed->rules().size(), p.rules().size());
+  EXPECT_EQ(reparsed->facts().size(), p.facts().size());
+  EXPECT_EQ(reparsed->queries().size(), p.queries().size());
+}
+
+TEST(ProgramTest, ArithmeticPrintsInfixAndReparses) {
+  Program p = P("q(Z) <- r(X), Z = (X + 1) * 2.");
+  std::string text = p.rules()[0].ToString();
+  EXPECT_EQ(text, "q(Z) <- r(X), Z = (X + 1) * 2.");
+  auto reparsed = ParseProgram(text);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+  EXPECT_EQ(reparsed->rules()[0].ToString(), text);
+}
+
+TEST(ProgramTest, ValidateCatchesBuiltinHead) {
+  // Constructed directly (the parser already rejects this shape).
+  Program p;
+  p.AddRule(Rule(Literal::MakeBuiltin(BuiltinKind::kLt, Term::MakeInt(1),
+                                      Term::MakeInt(2)),
+                 {}));
+  EXPECT_FALSE(p.Validate().ok());
+}
+
+TEST(ProgramTest, ValidateCatchesNegatedHead) {
+  Program p;
+  p.AddRule(Rule(Literal::MakeNegated("q", {Term::MakeVariable("X")}),
+                 {Literal::Make("r", {Term::MakeVariable("X")})}));
+  EXPECT_FALSE(p.Validate().ok());
+}
+
+TEST(QueryFormTest, ToStringAppendsQuestionMark) {
+  QueryForm q{Literal::Make("p", {Term::MakeInt(1)})};
+  EXPECT_EQ(q.ToString(), "p(1)?");
+}
+
+}  // namespace
+}  // namespace ldl

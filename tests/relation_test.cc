@@ -1,0 +1,135 @@
+#include "storage/relation.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/database.h"
+#include "storage/statistics.h"
+#include "ast/parser.h"
+
+namespace ldl {
+namespace {
+
+Tuple Pair(int64_t a, int64_t b) {
+  return {Term::MakeInt(a), Term::MakeInt(b)};
+}
+
+TEST(RelationTest, InsertDeduplicates) {
+  Relation r("edge", 2);
+  EXPECT_TRUE(r.Insert(Pair(1, 2)));
+  EXPECT_FALSE(r.Insert(Pair(1, 2)));
+  EXPECT_TRUE(r.Insert(Pair(2, 1)));
+  EXPECT_EQ(r.size(), 2u);
+  EXPECT_TRUE(r.Contains(Pair(1, 2)));
+  EXPECT_FALSE(r.Contains(Pair(3, 3)));
+}
+
+TEST(RelationTest, IndexLookup) {
+  Relation r("edge", 2);
+  for (int64_t i = 0; i < 100; ++i) {
+    r.Insert(Pair(i % 10, i));
+  }
+  const auto& ids = r.Lookup({0}, {Term::MakeInt(3)});
+  EXPECT_EQ(ids.size(), 10u);
+  for (uint32_t id : ids) {
+    EXPECT_EQ(r.tuple(id)[0].int_value(), 3);
+  }
+}
+
+TEST(RelationTest, IndexExtendsAfterInsert) {
+  Relation r("edge", 2);
+  r.Insert(Pair(1, 10));
+  EXPECT_EQ(r.Lookup({0}, {Term::MakeInt(1)}).size(), 1u);
+  r.Insert(Pair(1, 11));  // insert after the index exists
+  EXPECT_EQ(r.Lookup({0}, {Term::MakeInt(1)}).size(), 2u);
+}
+
+TEST(RelationTest, MultiColumnIndex) {
+  Relation r("t", 3);
+  r.Insert({Term::MakeInt(1), Term::MakeInt(2), Term::MakeInt(3)});
+  r.Insert({Term::MakeInt(1), Term::MakeInt(2), Term::MakeInt(4)});
+  r.Insert({Term::MakeInt(1), Term::MakeInt(9), Term::MakeInt(3)});
+  EXPECT_EQ(r.Lookup({0, 1}, {Term::MakeInt(1), Term::MakeInt(2)}).size(), 2u);
+  EXPECT_EQ(r.Lookup({0, 2}, {Term::MakeInt(1), Term::MakeInt(3)}).size(), 2u);
+}
+
+TEST(RelationTest, ZeroArityRelation) {
+  Relation r("flag", 0);
+  EXPECT_TRUE(r.Insert({}));
+  EXPECT_FALSE(r.Insert({}));
+  EXPECT_EQ(r.size(), 1u);
+  EXPECT_TRUE(r.Contains({}));
+}
+
+TEST(RelationTest, ComplexTermColumns) {
+  Relation r("shape", 1);
+  auto t1 = ParseTerm("poly([p(0,0), p(1,0), p(0,1)])");
+  auto t2 = ParseTerm("poly([p(0,0), p(1,0), p(0,1)])");
+  ASSERT_TRUE(t1.ok() && t2.ok());
+  EXPECT_TRUE(r.Insert({*t1}));
+  EXPECT_FALSE(r.Insert({*t2}));  // structurally equal -> dedup
+}
+
+TEST(RelationTest, DistinctCount) {
+  Relation r("edge", 2);
+  for (int64_t i = 0; i < 30; ++i) r.Insert(Pair(i % 3, i));
+  EXPECT_EQ(r.DistinctCount(0), 3u);
+  EXPECT_EQ(r.DistinctCount(1), 30u);
+}
+
+TEST(DatabaseTest, GetOrCreateAndFacts) {
+  Database db;
+  EXPECT_EQ(db.Find({"edge", 2}), nullptr);
+  Relation* r = db.GetOrCreate({"edge", 2});
+  EXPECT_EQ(db.Find({"edge", 2}), r);
+
+  auto lit = ParseLiteral("edge(1, 2)");
+  ASSERT_TRUE(lit.ok());
+  ASSERT_TRUE(db.AddFact(*lit).ok());
+  EXPECT_EQ(r->size(), 1u);
+  EXPECT_EQ(db.TotalTuples(), 1u);
+}
+
+TEST(DatabaseTest, RejectsNonGroundFact) {
+  Database db;
+  auto lit = ParseLiteral("edge(1, X)");
+  ASSERT_TRUE(lit.ok());
+  EXPECT_FALSE(db.AddFact(*lit).ok());
+}
+
+TEST(DatabaseTest, SameNameDifferentArityAreDistinct) {
+  Database db;
+  db.GetOrCreate({"p", 1})->Insert({Term::MakeInt(1)});
+  db.GetOrCreate({"p", 2})->Insert(Pair(1, 2));
+  EXPECT_EQ(db.Find({"p", 1})->size(), 1u);
+  EXPECT_EQ(db.Find({"p", 2})->size(), 1u);
+}
+
+TEST(StatisticsTest, CollectComputesCardinalityAndDistinct) {
+  Database db;
+  Relation* r = db.GetOrCreate({"edge", 2});
+  for (int64_t i = 0; i < 20; ++i) r->Insert(Pair(i % 4, i));
+  Statistics stats = Statistics::Collect(db);
+  const RelationStats& rs = stats.Get({"edge", 2});
+  EXPECT_DOUBLE_EQ(rs.cardinality, 20.0);
+  EXPECT_DOUBLE_EQ(rs.distinct[0], 4.0);
+  EXPECT_DOUBLE_EQ(rs.distinct[1], 20.0);
+  EXPECT_DOUBLE_EQ(rs.EqConstSelectivity(0), 0.25);
+  EXPECT_DOUBLE_EQ(rs.FanOut(0), 5.0);
+}
+
+TEST(StatisticsTest, UnknownPredicateFallsBackToDefault) {
+  Statistics stats;
+  EXPECT_DOUBLE_EQ(stats.Get({"nope", 3}).cardinality,
+                   stats.default_stats().cardinality);
+}
+
+TEST(StatisticsTest, EqJoinSelectivityUsesLargerDomain) {
+  RelationStats rs;
+  rs.cardinality = 100;
+  rs.distinct = {10, 50};
+  EXPECT_DOUBLE_EQ(rs.EqJoinSelectivity(0, 20.0), 1.0 / 20.0);
+  EXPECT_DOUBLE_EQ(rs.EqJoinSelectivity(1, 20.0), 1.0 / 50.0);
+}
+
+}  // namespace
+}  // namespace ldl

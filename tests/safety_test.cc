@@ -1,0 +1,151 @@
+#include "safety/safety.h"
+
+#include <gtest/gtest.h>
+
+#include "ast/parser.h"
+
+namespace ldl {
+namespace {
+
+Program P(const char* text) {
+  auto r = ParseProgram(text);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return *r;
+}
+
+Literal L(const char* text) {
+  auto r = ParseLiteral(text);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return *r;
+}
+
+Rule FirstRule(const char* text) { return P(text).rules()[0]; }
+
+TEST(EcCheckTest, TextualOrderUnsafeReorderSafe) {
+  Rule rule = FirstRule("q(Y) <- Y = X + 1, r(X).");
+  Adornment free_head = Adornment::AllFree(1);
+  EXPECT_FALSE(CheckRuleEc(rule, {0, 1}, free_head).ok());
+  EXPECT_TRUE(CheckRuleEc(rule, {1, 0}, free_head).ok());
+}
+
+TEST(EcCheckTest, ComparisonNeedsBothSides) {
+  Rule rule = FirstRule("q(X) <- r(X), X > Y.");
+  // Y never bound: unsafe in every order.
+  EXPECT_FALSE(CheckRuleEc(rule, {0, 1}, Adornment::AllFree(1)).ok());
+  EXPECT_FALSE(CheckRuleEc(rule, {1, 0}, Adornment::AllFree(1)).ok());
+  EXPECT_FALSE(FindEcOrder(rule, Adornment::AllFree(1)).has_value());
+}
+
+TEST(EcCheckTest, HeadBindingMakesBuiltinComputable) {
+  Rule rule = FirstRule("bigger(X, Y) <- X > Y.");
+  EXPECT_FALSE(CheckRuleEc(rule, {0}, Adornment::AllFree(2)).ok());
+  EXPECT_TRUE(CheckRuleEc(rule, {0}, Adornment::AllBound(2)).ok());
+}
+
+TEST(EcCheckTest, RangeRestrictionEnforced) {
+  // Head variable Z never bound by the body.
+  Rule rule = FirstRule("q(X, Z) <- r(X).");
+  EXPECT_FALSE(CheckRuleEc(rule, {0}, Adornment::AllFree(2)).ok());
+  // With Z as an input (bound in the query form) the rule is fine.
+  auto bf = Adornment::FromString("fb");
+  ASSERT_TRUE(bf.ok());
+  EXPECT_TRUE(CheckRuleEc(rule, {0}, *bf).ok());
+}
+
+TEST(EcCheckTest, GreedyFinderPlacesBuiltinsEagerly) {
+  Rule rule = FirstRule("q(Z) <- r(X), s(Y), Z = X + Y, Z > 10.");
+  auto order = FindEcOrder(rule, Adornment::AllFree(1));
+  ASSERT_TRUE(order.has_value());
+  EXPECT_TRUE(CheckRuleEc(rule, *order, Adornment::AllFree(1)).ok());
+}
+
+TEST(EcCheckTest, NegationNeedsGroundArguments) {
+  Rule rule = FirstRule("only(X) <- a(X), not b(X, Y).");
+  // Y occurs only under negation: no order can bind it.
+  EXPECT_FALSE(FindEcOrder(rule, Adornment::AllFree(1)).has_value());
+  Rule ok = FirstRule("only(X) <- a(X), b2(X, Y), not b(X, Y).");
+  EXPECT_TRUE(FindEcOrder(ok, Adornment::AllFree(1)).has_value());
+}
+
+// The paper's section 8.3 counterexample: p(x,y,z) <- x=3, z=x+y and the
+// query conjoined with y = 2*x. No permutation of the rule body alone can
+// compute it even though the answer <3, 6, 18> is finite.
+TEST(EcCheckTest, PaperSection83NoSafePermutation) {
+  Rule rule = FirstRule("p(X, Y, Z) <- X = 3, Z = X + Y.");
+  // Query p(X, Y, Z)? with no bindings: Y cannot be bound by any order.
+  EXPECT_FALSE(FindEcOrder(rule, Adornment::AllFree(3)).has_value());
+  // But once y is bound (e.g. by flattening in the conjunct), it works:
+  auto adn = Adornment::FromString("fbf");
+  ASSERT_TRUE(adn.ok());
+  EXPECT_TRUE(FindEcOrder(rule, *adn).has_value());
+}
+
+TEST(WellFoundedTest, DatalogCliqueAlwaysSafe) {
+  Program p = P(R"(
+    tc(X, Y) <- e(X, Y).
+    tc(X, Y) <- e(X, Z), tc(Z, Y).
+  )");
+  DependencyGraph g = DependencyGraph::Build(p);
+  ASSERT_EQ(g.cliques().size(), 1u);
+  EXPECT_TRUE(CheckWellFounded(p, g.cliques()[0], {"tc", 2},
+                               Adornment::AllFree(2))
+                  .ok());
+}
+
+TEST(WellFoundedTest, ArithmeticGrowthRejected) {
+  Program p = P(R"(
+    nat(X) <- zero(X).
+    nat(Y) <- nat(X), Y = X + 1.
+  )");
+  DependencyGraph g = DependencyGraph::Build(p);
+  ASSERT_EQ(g.cliques().size(), 1u);
+  EXPECT_FALSE(CheckWellFounded(p, g.cliques()[0], {"nat", 1},
+                                Adornment::AllFree(1))
+                   .ok());
+  EXPECT_FALSE(CheckWellFounded(p, g.cliques()[0], {"nat", 1},
+                                Adornment::AllBound(1))
+                   .ok());
+}
+
+TEST(WellFoundedTest, StructuralDescentOnBoundArgumentAccepted) {
+  Program p = P(R"(
+    member(X, [X | T]).
+    member(X, [H | T]) <- member(X, T).
+  )");
+  DependencyGraph g = DependencyGraph::Build(p);
+  ASSERT_EQ(g.cliques().size(), 1u);
+  auto fb = Adornment::FromString("fb");
+  ASSERT_TRUE(fb.ok());
+  EXPECT_TRUE(CheckWellFounded(p, g.cliques()[0], {"member", 2}, *fb).ok());
+  // Free second argument: bottom-up term growth, no well-founded order.
+  EXPECT_FALSE(CheckWellFounded(p, g.cliques()[0], {"member", 2},
+                                Adornment::AllFree(2))
+                   .ok());
+}
+
+TEST(SafetyReportTest, SafeProgramReportsSafe) {
+  Program p = P(R"(
+    anc(X, Y) <- par(X, Y).
+    anc(X, Y) <- par(X, Z), anc(Z, Y).
+  )");
+  SafetyReport report = AnalyzeQuerySafety(p, L("anc(1, Y)"));
+  EXPECT_TRUE(report.safe) << report.ToString();
+}
+
+TEST(SafetyReportTest, ProblemsNameTheRule) {
+  Program p = P("q(X, Y) <- r(X), X > Y.");
+  SafetyReport report = AnalyzeQuerySafety(p, L("q(X, Y)"));
+  ASSERT_FALSE(report.safe);
+  ASSERT_FALSE(report.problems.empty());
+  EXPECT_NE(report.problems[0].find("q(X, Y)"), std::string::npos)
+      << report.ToString();
+}
+
+TEST(SafetyReportTest, BoundQueryFormCanBeSafeWhereFreeIsNot) {
+  Program p = P("half(X, Y) <- Y = X / 2.");
+  EXPECT_FALSE(AnalyzeQuerySafety(p, L("half(X, Y)")).safe);
+  EXPECT_TRUE(AnalyzeQuerySafety(p, L("half(10, Y)")).safe);
+}
+
+}  // namespace
+}  // namespace ldl

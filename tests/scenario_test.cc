@@ -1,0 +1,219 @@
+// End-to-end scenario tests: realistic knowledge-base applications driven
+// through the full stack (parser -> safety -> optimizer -> rewrites ->
+// engine), checking answers, not internals.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "ldl/ldl.h"
+#include "testing/workloads.h"
+
+namespace ldl {
+namespace {
+
+std::set<std::string> AnswerSet(const Relation& r) {
+  std::set<std::string> out;
+  for (const Tuple& t : r.tuples()) out.insert(TupleToString(t));
+  return out;
+}
+
+TEST(ScenarioTest, FlightRoutesWithCosts) {
+  LdlSystem sys;
+  ASSERT_TRUE(sys.LoadProgram(R"(
+    flight(sfo, lax, 99).
+    flight(lax, jfk, 300).
+    flight(sfo, jfk, 450).
+    flight(jfk, lhr, 600).
+    flight(lax, sfo, 99).
+
+    % reachability: a pure Datalog clique (safe for any data)
+    route(A, B) <- flight(A, B, C).
+    route(A, B) <- flight(A, M, C), route(M, B).
+
+    % cost arithmetic stays nonrecursive (unbounded accumulation over the
+    % sfo <-> lax cycle would be genuinely unsafe, and the analyzer says so)
+    onestop(A, B, C) <- flight(A, M, C1), flight(M, B, C2), C = C1 + C2.
+    affordable(A, B) <- flight(A, B, C), C < 500.
+    affordable(A, B) <- onestop(A, B, C), C < 500.
+  )")
+                  .ok());
+  auto answer = sys.Query("affordable(sfo, B)");
+  ASSERT_TRUE(answer.ok()) << answer.status();
+  std::set<std::string> cities;
+  for (const Tuple& t : answer->answers.tuples()) {
+    cities.insert(t[1].ToString());
+  }
+  // lax (99 direct), jfk (399 one-stop / 450 direct), sfo (198 round trip).
+  EXPECT_EQ(cities, (std::set<std::string>{"lax", "jfk", "sfo"}));
+
+  auto reach = sys.Query("route(sfo, B)");
+  ASSERT_TRUE(reach.ok()) << reach.status();
+  EXPECT_EQ(reach->answers.size(), 4u);  // lax, jfk, lhr, sfo
+
+  // The unbounded accumulating variant is rejected as unsafe.
+  ASSERT_TRUE(sys.LoadProgram(R"(
+    cost(A, B, C) <- flight(A, B, C).
+    cost(A, B, C) <- flight(A, M, C1), cost(M, B, C2), C = C1 + C2.
+  )")
+                  .ok());
+  auto unsafe = sys.Query("cost(sfo, jfk, C)");
+  ASSERT_FALSE(unsafe.ok());
+  EXPECT_EQ(unsafe.status().code(), StatusCode::kUnsafe);
+}
+
+TEST(ScenarioTest, RouteAccumulationTerminatesViaGuard) {
+  // Cyclic flights with an unguarded cost accumulator would diverge; the
+  // C < 500 guard inside the recursion bounds it.
+  LdlSystem sys;
+  ASSERT_TRUE(sys.LoadProgram(R"(
+    hop(a, b). hop(b, c). hop(c, a).
+    walk(X, Y, 1) <- hop(X, Y).
+    walk(X, Y, N) <- hop(X, M), walk(M, Y, N1), N = N1 + 1, N < 10.
+  )")
+                  .ok());
+  auto answer = sys.Query("walk(a, c, N)");
+  ASSERT_TRUE(answer.ok()) << answer.status();
+  // Lengths 2, 5, 8 reach c from a on the 3-cycle.
+  std::set<int64_t> lengths;
+  for (const Tuple& t : answer->answers.tuples()) {
+    lengths.insert(t[2].int_value());
+  }
+  EXPECT_EQ(lengths, (std::set<int64_t>{2, 5, 8}));
+}
+
+TEST(ScenarioTest, GenealogyWithListsAndNegation) {
+  LdlSystem sys;
+  ASSERT_TRUE(sys.LoadProgram(R"(
+    par(bart, homer). par(homer, abe). par(abe, orville).
+
+    % lineage paths as lists
+    lineage(X, Y, [X, Y]) <- par(X, Y).
+    lineage(X, Z, [X | P]) <- par(X, Y), lineage(Y, Z, P).
+
+    person(X) <- par(X, Y).
+    person(Y) <- par(X, Y).
+    has_child(Y) <- par(X, Y).
+    leaf(X) <- person(X), not has_child(X).
+  )")
+                  .ok());
+  // lineage builds lists bottom-up: safe on acyclic `par` data but only
+  // data-dependently so — the conservative compile-time analysis rejects
+  // it, and we drive the engine directly instead (the paper's section 8.1:
+  // sufficient conditions "do not necessarily detect all safe executions").
+  auto goal = ParseLiteral("lineage(bart, orville, P)");
+  ASSERT_TRUE(goal.ok());
+  EXPECT_FALSE(sys.Query(*goal).ok());  // conservative rejection
+  auto lineage = sys.EvaluateUnoptimized(*goal, RecursionMethod::kSemiNaive);
+  ASSERT_TRUE(lineage.ok()) << lineage.status();
+  ASSERT_EQ(lineage->answers.size(), 1u);
+  EXPECT_EQ(lineage->answers.tuples()[0][2].ToString(),
+            "[bart, homer, abe, orville]");
+
+  auto leaves = sys.Query("leaf(X)");
+  ASSERT_TRUE(leaves.ok()) << leaves.status();
+  EXPECT_EQ(AnswerSet(leaves->answers), (std::set<std::string>{"(bart)"}));
+}
+
+TEST(ScenarioTest, ThreeStrataProgram) {
+  LdlSystem sys;
+  ASSERT_TRUE(sys.LoadProgram(R"(
+    edge(1, 2). edge(2, 3). edge(4, 5).
+    node(X) <- edge(X, Y).
+    node(Y) <- edge(X, Y).
+    reach(X, Y) <- edge(X, Y).
+    reach(X, Y) <- edge(X, Z), reach(Z, Y).
+    % stratum 1: negation over reach
+    separated(X, Y) <- node(X), node(Y), not reach(X, Y), X != Y.
+    % stratum 2: negation over separated
+    connected_all(X) <- node(X), not isolated(X).
+    isolated(X) <- node(X), separated(X, Y), separated(Y, X).
+  )")
+                  .ok());
+  auto answer = sys.Query("separated(1, Y)");
+  ASSERT_TRUE(answer.ok()) << answer.status();
+  // From 1 you can reach 2 and 3; 4 and 5 are separated.
+  EXPECT_EQ(answer->answers.size(), 2u);
+}
+
+TEST(ScenarioTest, BillOfMaterialsCostRollup) {
+  LdlSystem sys;
+  ASSERT_TRUE(sys.LoadProgram(R"(
+    assembly(bike, wheel, 2).
+    assembly(bike, frame, 1).
+    assembly(wheel, spoke, 32).
+    assembly(wheel, rim, 1).
+    base_cost(spoke, 1).
+    base_cost(rim, 20).
+    base_cost(frame, 100).
+
+    % every (possibly nested) part needed for a product
+    needs(P, S) <- assembly(P, S, N).
+    needs(P, S) <- assembly(P, M, N), needs(M, S).
+  )")
+                  .ok());
+  auto parts = sys.Query("needs(bike, S)");
+  ASSERT_TRUE(parts.ok()) << parts.status();
+  EXPECT_EQ(parts->answers.size(), 4u);  // wheel, frame, spoke, rim
+  EXPECT_TRUE(parts->plan.top_method == RecursionMethod::kMagic ||
+              parts->plan.top_method == RecursionMethod::kCounting);
+}
+
+TEST(ScenarioTest, SameGenerationCousins) {
+  LdlSystem sys;
+  ASSERT_TRUE(sys.LoadProgram(R"(
+    sg(X, Y) <- flat(X, Y).
+    sg(X, Y) <- up(X, X1), sg(X1, Y1), dn(Y1, Y).
+  )")
+                  .ok());
+  size_t nodes = testing::MakeSameGenerationData(2, 5, sys.database());
+  sys.RefreshStatistics();
+  // Symmetry check: sg(a, b) answers match sg read in the other direction
+  // through its mirrored data.
+  Literal g1 = Literal::Make(
+      "sg", {Term::MakeInt(static_cast<int64_t>(nodes - 1)),
+             Term::MakeVariable("Y")});
+  auto a1 = sys.Query(g1);
+  ASSERT_TRUE(a1.ok());
+  EXPECT_FALSE(a1->answers.empty());
+  // Every answer is at the same depth: verify by checking membership of the
+  // probe itself (ring flat links make sg reflexive-ish via cycles of ups
+  // and downs only at matched depth).
+  for (const Tuple& t : a1->answers.tuples()) {
+    EXPECT_EQ(t[0].int_value(), static_cast<int64_t>(nodes - 1));
+  }
+}
+
+TEST(ScenarioTest, QueryAfterIncrementalLoad) {
+  LdlSystem sys;
+  ASSERT_TRUE(sys.LoadProgram("anc(X, Y) <- par(X, Y).").ok());
+  ASSERT_TRUE(sys.AddClause("anc(X, Y) <- par(X, Z), anc(Z, Y).").ok());
+  ASSERT_TRUE(sys.AddClause("par(a, b).").ok());
+  ASSERT_TRUE(sys.AddClause("par(b, c).").ok());
+  auto answer = sys.Query("anc(a, Y)");
+  ASSERT_TRUE(answer.ok()) << answer.status();
+  EXPECT_EQ(answer->answers.size(), 2u);
+  // Add more facts: statistics refresh and answers update.
+  ASSERT_TRUE(sys.AddClause("par(c, d).").ok());
+  auto again = sys.Query("anc(a, Y)");
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->answers.size(), 3u);
+}
+
+TEST(ScenarioTest, StringAndRealValues) {
+  LdlSystem sys;
+  ASSERT_TRUE(sys.LoadProgram(R"(
+    product("anvil", 49.99).
+    product("rocket skates", 999.5).
+    cheap(N) <- product(N, P), P < 100.0.
+  )")
+                  .ok());
+  auto answer = sys.Query("cheap(N)");
+  ASSERT_TRUE(answer.ok()) << answer.status();
+  ASSERT_EQ(answer->answers.size(), 1u);
+  EXPECT_EQ(answer->answers.tuples()[0][0].text(), "anvil");
+}
+
+}  // namespace
+}  // namespace ldl

@@ -1,0 +1,104 @@
+#include "ast/term.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace ldl {
+namespace {
+
+TEST(TermTest, ScalarConstruction) {
+  EXPECT_EQ(Term::MakeInt(42).kind(), TermKind::kInt);
+  EXPECT_EQ(Term::MakeInt(42).int_value(), 42);
+  EXPECT_DOUBLE_EQ(Term::MakeReal(2.5).real_value(), 2.5);
+  EXPECT_EQ(Term::MakeSymbol("austin").text(), "austin");
+  EXPECT_EQ(Term::MakeString("hi").kind(), TermKind::kString);
+  EXPECT_EQ(Term::MakeVariable("X").kind(), TermKind::kVariable);
+}
+
+TEST(TermTest, GroundChecks) {
+  EXPECT_TRUE(Term::MakeInt(1).IsGround());
+  EXPECT_FALSE(Term::MakeVariable("X").IsGround());
+  Term f = Term::MakeFunction("f", {Term::MakeInt(1), Term::MakeVariable("X")});
+  EXPECT_FALSE(f.IsGround());
+  Term g = Term::MakeFunction("f", {Term::MakeInt(1), Term::MakeSymbol("a")});
+  EXPECT_TRUE(g.IsGround());
+}
+
+TEST(TermTest, EqualityAndHash) {
+  Term a = Term::MakeFunction("f", {Term::MakeInt(1), Term::MakeSymbol("x")});
+  Term b = Term::MakeFunction("f", {Term::MakeInt(1), Term::MakeSymbol("x")});
+  Term c = Term::MakeFunction("f", {Term::MakeInt(2), Term::MakeSymbol("x")});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(a.Hash(), b.Hash());
+}
+
+TEST(TermTest, NumericKindsCompareDistinctly) {
+  // Term equality is structural: 1 (int) != 1.0 (real) as stored values;
+  // numeric equality is the builtin layer's job.
+  EXPECT_NE(Term::MakeInt(1), Term::MakeReal(1.0));
+}
+
+TEST(TermTest, TotalOrderIsStrictWeak) {
+  std::set<Term> s;
+  s.insert(Term::MakeInt(1));
+  s.insert(Term::MakeInt(1));
+  s.insert(Term::MakeSymbol("a"));
+  s.insert(Term::MakeVariable("X"));
+  s.insert(Term::MakeFunction("f", {Term::MakeInt(1)}));
+  EXPECT_EQ(s.size(), 4u);
+}
+
+TEST(TermTest, ListSugar) {
+  Term list = Term::MakeList({Term::MakeInt(1), Term::MakeInt(2)});
+  EXPECT_EQ(list.ToString(), "[1, 2]");
+  EXPECT_TRUE(list.IsFunction());
+  EXPECT_EQ(list.text(), ".");
+  Term with_tail =
+      Term::MakeList({Term::MakeInt(1)}, Term::MakeVariable("T"));
+  EXPECT_EQ(with_tail.ToString(), "[1 | T]");
+}
+
+TEST(TermTest, CollectVariables) {
+  Term t = Term::MakeFunction(
+      "f", {Term::MakeVariable("X"),
+            Term::MakeFunction("g", {Term::MakeVariable("Y"),
+                                     Term::MakeVariable("X")})});
+  std::vector<std::string> vars;
+  t.CollectVariables(&vars);
+  EXPECT_EQ(vars, (std::vector<std::string>{"X", "Y", "X"}));
+  EXPECT_TRUE(t.ContainsVariable("Y"));
+  EXPECT_FALSE(t.ContainsVariable("Z"));
+}
+
+TEST(TermTest, StrictSubterm) {
+  Term x = Term::MakeVariable("X");
+  Term fx = Term::MakeFunction("f", {x});
+  Term gfx = Term::MakeFunction("g", {fx, Term::MakeInt(0)});
+  EXPECT_TRUE(fx.HasStrictSubterm(x));
+  EXPECT_TRUE(gfx.HasStrictSubterm(x));
+  EXPECT_TRUE(gfx.HasStrictSubterm(fx));
+  EXPECT_FALSE(x.HasStrictSubterm(x));
+  EXPECT_FALSE(fx.HasStrictSubterm(gfx));
+}
+
+TEST(TermTest, SizeAndDepth) {
+  Term x = Term::MakeVariable("X");
+  EXPECT_EQ(x.Size(), 1u);
+  EXPECT_EQ(x.Depth(), 1u);
+  Term t = Term::MakeFunction("f", {Term::MakeFunction("g", {x}),
+                                    Term::MakeInt(3)});
+  EXPECT_EQ(t.Size(), 4u);
+  EXPECT_EQ(t.Depth(), 3u);
+}
+
+TEST(TermTest, PrintingForms) {
+  EXPECT_EQ(Term::MakeString("hi").ToString(), "\"hi\"");
+  EXPECT_EQ(Term::MakeFunction("f", {Term::MakeVariable("X")}).ToString(),
+            "f(X)");
+  EXPECT_EQ(Term::MakeList({}).ToString(), "[]");
+}
+
+}  // namespace
+}  // namespace ldl

@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include "ast/parser.h"
+#include "engine/builtins.h"
+#include "engine/unify.h"
+
+namespace ldl {
+namespace {
+
+Term T(const char* text) {
+  auto r = ParseTerm(text);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return *r;
+}
+
+TEST(UnifyTest, VariableBindsToConstant) {
+  Substitution s;
+  EXPECT_TRUE(Unify(T("X"), T("42"), &s));
+  EXPECT_EQ(s.Apply(T("X")).int_value(), 42);
+}
+
+TEST(UnifyTest, FunctionTermsUnifyStructurally) {
+  Substitution s;
+  EXPECT_TRUE(Unify(T("f(X, g(Y))"), T("f(1, g(a))"), &s));
+  EXPECT_EQ(s.Apply(T("X")).int_value(), 1);
+  EXPECT_EQ(s.Apply(T("Y")).text(), "a");
+}
+
+TEST(UnifyTest, FunctorMismatchFails) {
+  Substitution s;
+  EXPECT_FALSE(Unify(T("f(X)"), T("g(1)"), &s));
+  EXPECT_TRUE(s.empty());  // failure leaves no residue
+}
+
+TEST(UnifyTest, ConflictingBindingFails) {
+  Substitution s;
+  EXPECT_FALSE(Unify(T("f(X, X)"), T("f(1, 2)"), &s));
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(UnifyTest, SharedVariableAcrossCalls) {
+  Substitution s;
+  EXPECT_TRUE(Unify(T("X"), T("7"), &s));
+  EXPECT_FALSE(Unify(T("X"), T("8"), &s));
+  EXPECT_TRUE(Unify(T("X"), T("7"), &s));
+}
+
+TEST(UnifyTest, VariableToVariableAliasing) {
+  Substitution s;
+  EXPECT_TRUE(Unify(T("X"), T("Y"), &s));
+  EXPECT_TRUE(Unify(T("Y"), T("3"), &s));
+  EXPECT_EQ(s.Apply(T("X")).int_value(), 3);
+}
+
+TEST(UnifyTest, TrailUndoRestoresState) {
+  Substitution s;
+  size_t mark = s.Mark();
+  EXPECT_TRUE(Unify(T("f(X, Y)"), T("f(1, 2)"), &s));
+  EXPECT_EQ(s.size(), 2u);
+  s.UndoTo(mark);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(UnifyTest, ListPatterns) {
+  Substitution s;
+  EXPECT_TRUE(Unify(T("[H | Rest]"), T("[1, 2, 3]"), &s));
+  EXPECT_EQ(s.Apply(T("H")).int_value(), 1);
+  EXPECT_EQ(s.Apply(T("Rest")).ToString(), "[2, 3]");
+}
+
+TEST(UnifyTest, NumericCrossKindEquality) {
+  Substitution s;
+  EXPECT_TRUE(Unify(T("1"), T("1.0"), &s));
+  EXPECT_FALSE(Unify(T("1"), T("1.5"), &s));
+}
+
+TEST(ArithmeticTest, FoldsGroundExpressions) {
+  auto r = EvalArithmetic(T("2 + 3 * 4"));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->int_value(), 14);
+}
+
+TEST(ArithmeticTest, MixedIntRealPromotes) {
+  auto r = EvalArithmetic(T("1 + 2.5"));
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->real_value(), 3.5);
+}
+
+TEST(ArithmeticTest, IntegerDivisionStaysIntWhenExact) {
+  auto r = EvalArithmetic(T("6 / 3"));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->kind(), TermKind::kInt);
+  EXPECT_EQ(r->int_value(), 2);
+  auto q = EvalArithmetic(T("7 / 2"));
+  ASSERT_TRUE(q.ok());
+  EXPECT_DOUBLE_EQ(q->real_value(), 3.5);
+}
+
+TEST(ArithmeticTest, DivisionByZeroIsError) {
+  EXPECT_FALSE(EvalArithmetic(T("1 / 0")).ok());
+  EXPECT_FALSE(EvalArithmetic(T("1 mod 0")).ok());
+}
+
+TEST(ArithmeticTest, DataConstructorsAreNotArithmetic) {
+  auto r = EvalArithmetic(T("f(1 + 1, a)"));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->ToString(), "f(2, a)");  // inner arithmetic folds
+  EXPECT_FALSE(ContainsArithmetic(*r));
+}
+
+Literal MakeCmp(BuiltinKind k, const char* lhs, const char* rhs) {
+  return Literal::MakeBuiltin(k, T(lhs), T(rhs));
+}
+
+TEST(BuiltinTest, ComparisonOnGroundValues) {
+  Substitution s;
+  EXPECT_EQ(EvalBuiltin(MakeCmp(BuiltinKind::kLt, "1", "2"), &s),
+            BuiltinOutcome::kSatisfied);
+  EXPECT_EQ(EvalBuiltin(MakeCmp(BuiltinKind::kGe, "1", "2"), &s),
+            BuiltinOutcome::kFailed);
+  EXPECT_EQ(EvalBuiltin(MakeCmp(BuiltinKind::kNe, "a", "b"), &s),
+            BuiltinOutcome::kSatisfied);
+}
+
+TEST(BuiltinTest, ComparisonWithUnboundVariableNotComputable) {
+  Substitution s;
+  EXPECT_EQ(EvalBuiltin(MakeCmp(BuiltinKind::kLt, "X", "2"), &s),
+            BuiltinOutcome::kNotComputable);
+}
+
+TEST(BuiltinTest, EqBindsVariableToArithmeticResult) {
+  Substitution s;
+  EXPECT_EQ(EvalBuiltin(MakeCmp(BuiltinKind::kEq, "X", "2 * 21"), &s),
+            BuiltinOutcome::kSatisfied);
+  EXPECT_EQ(s.Apply(T("X")).int_value(), 42);
+}
+
+TEST(BuiltinTest, EqWorksInBothDirections) {
+  Substitution s;
+  EXPECT_EQ(EvalBuiltin(MakeCmp(BuiltinKind::kEq, "3 + 4", "Y"), &s),
+            BuiltinOutcome::kSatisfied);
+  EXPECT_EQ(s.Apply(T("Y")).int_value(), 7);
+}
+
+TEST(BuiltinTest, EqBothUnboundNotComputable) {
+  Substitution s;
+  EXPECT_EQ(EvalBuiltin(MakeCmp(BuiltinKind::kEq, "X", "Y + 1"), &s),
+            BuiltinOutcome::kNotComputable);
+}
+
+TEST(BuiltinTest, EqStructuralDecomposition) {
+  Substitution s;
+  EXPECT_EQ(EvalBuiltin(MakeCmp(BuiltinKind::kEq, "f(X, 2)", "f(1, 2)"), &s),
+            BuiltinOutcome::kSatisfied);
+  EXPECT_EQ(s.Apply(T("X")).int_value(), 1);
+}
+
+TEST(BuiltinTest, EqGroundMismatchFails) {
+  Substitution s;
+  EXPECT_EQ(EvalBuiltin(MakeCmp(BuiltinKind::kEq, "1 + 1", "3"), &s),
+            BuiltinOutcome::kFailed);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(BuiltinTest, ComputabilityTable) {
+  // Paper section 8.1: comparisons need all variables bound; equality needs
+  // one side bound.
+  EXPECT_TRUE(BuiltinComputableWith(BuiltinKind::kEq, true, false));
+  EXPECT_TRUE(BuiltinComputableWith(BuiltinKind::kEq, false, true));
+  EXPECT_FALSE(BuiltinComputableWith(BuiltinKind::kEq, false, false));
+  EXPECT_FALSE(BuiltinComputableWith(BuiltinKind::kLt, true, false));
+  EXPECT_TRUE(BuiltinComputableWith(BuiltinKind::kLt, true, true));
+}
+
+}  // namespace
+}  // namespace ldl
