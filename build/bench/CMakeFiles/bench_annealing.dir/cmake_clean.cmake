@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_annealing.dir/bench_annealing.cc.o"
+  "CMakeFiles/bench_annealing.dir/bench_annealing.cc.o.d"
+  "bench_annealing"
+  "bench_annealing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_annealing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

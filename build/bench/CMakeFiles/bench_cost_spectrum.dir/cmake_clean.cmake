@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cost_spectrum.dir/bench_cost_spectrum.cc.o"
+  "CMakeFiles/bench_cost_spectrum.dir/bench_cost_spectrum.cc.o.d"
+  "bench_cost_spectrum"
+  "bench_cost_spectrum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cost_spectrum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

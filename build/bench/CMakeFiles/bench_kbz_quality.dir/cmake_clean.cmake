@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_kbz_quality.dir/bench_kbz_quality.cc.o"
+  "CMakeFiles/bench_kbz_quality.dir/bench_kbz_quality.cc.o.d"
+  "bench_kbz_quality"
+  "bench_kbz_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_kbz_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

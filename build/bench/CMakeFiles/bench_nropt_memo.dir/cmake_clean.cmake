@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_nropt_memo.dir/bench_nropt_memo.cc.o"
+  "CMakeFiles/bench_nropt_memo.dir/bench_nropt_memo.cc.o.d"
+  "bench_nropt_memo"
+  "bench_nropt_memo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_nropt_memo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_opt_recursive.dir/bench_opt_recursive.cc.o"
+  "CMakeFiles/bench_opt_recursive.dir/bench_opt_recursive.cc.o.d"
+  "bench_opt_recursive"
+  "bench_opt_recursive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_opt_recursive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

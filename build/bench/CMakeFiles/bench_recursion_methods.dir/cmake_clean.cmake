@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_recursion_methods.dir/bench_recursion_methods.cc.o"
+  "CMakeFiles/bench_recursion_methods.dir/bench_recursion_methods.cc.o.d"
+  "bench_recursion_methods"
+  "bench_recursion_methods.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_recursion_methods.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corporate_kb.dir/corporate_kb.cpp.o"
+  "CMakeFiles/corporate_kb.dir/corporate_kb.cpp.o.d"
+  "corporate_kb"
+  "corporate_kb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corporate_kb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldl_shell.dir/ldl_shell.cpp.o"
+  "CMakeFiles/ldl_shell.dir/ldl_shell.cpp.o.d"
+  "ldl_shell"
+  "ldl_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldl_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/processing_tree_demo.dir/processing_tree_demo.cpp.o"
+  "CMakeFiles/processing_tree_demo.dir/processing_tree_demo.cpp.o.d"
+  "processing_tree_demo"
+  "processing_tree_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/processing_tree_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for processing_tree_demo.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/same_generation.dir/same_generation.cpp.o"
+  "CMakeFiles/same_generation.dir/same_generation.cpp.o.d"
+  "same_generation"
+  "same_generation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/same_generation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ast/literal.cc" "src/ast/CMakeFiles/ldl_ast.dir/literal.cc.o" "gcc" "src/ast/CMakeFiles/ldl_ast.dir/literal.cc.o.d"
+  "/root/repo/src/ast/parser.cc" "src/ast/CMakeFiles/ldl_ast.dir/parser.cc.o" "gcc" "src/ast/CMakeFiles/ldl_ast.dir/parser.cc.o.d"
+  "/root/repo/src/ast/program.cc" "src/ast/CMakeFiles/ldl_ast.dir/program.cc.o" "gcc" "src/ast/CMakeFiles/ldl_ast.dir/program.cc.o.d"
+  "/root/repo/src/ast/rule.cc" "src/ast/CMakeFiles/ldl_ast.dir/rule.cc.o" "gcc" "src/ast/CMakeFiles/ldl_ast.dir/rule.cc.o.d"
+  "/root/repo/src/ast/term.cc" "src/ast/CMakeFiles/ldl_ast.dir/term.cc.o" "gcc" "src/ast/CMakeFiles/ldl_ast.dir/term.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/ldl_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

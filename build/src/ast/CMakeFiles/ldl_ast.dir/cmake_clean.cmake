@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldl_ast.dir/literal.cc.o"
+  "CMakeFiles/ldl_ast.dir/literal.cc.o.d"
+  "CMakeFiles/ldl_ast.dir/parser.cc.o"
+  "CMakeFiles/ldl_ast.dir/parser.cc.o.d"
+  "CMakeFiles/ldl_ast.dir/program.cc.o"
+  "CMakeFiles/ldl_ast.dir/program.cc.o.d"
+  "CMakeFiles/ldl_ast.dir/rule.cc.o"
+  "CMakeFiles/ldl_ast.dir/rule.cc.o.d"
+  "CMakeFiles/ldl_ast.dir/term.cc.o"
+  "CMakeFiles/ldl_ast.dir/term.cc.o.d"
+  "libldl_ast.a"
+  "libldl_ast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldl_ast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

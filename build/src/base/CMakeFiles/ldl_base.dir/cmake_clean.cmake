@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldl_base.dir/status.cc.o"
+  "CMakeFiles/ldl_base.dir/status.cc.o.d"
+  "CMakeFiles/ldl_base.dir/strings.cc.o"
+  "CMakeFiles/ldl_base.dir/strings.cc.o.d"
+  "libldl_base.a"
+  "libldl_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldl_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libldl_base.a"
+)

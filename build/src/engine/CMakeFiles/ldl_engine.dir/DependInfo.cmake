@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/builtins.cc" "src/engine/CMakeFiles/ldl_engine.dir/builtins.cc.o" "gcc" "src/engine/CMakeFiles/ldl_engine.dir/builtins.cc.o.d"
+  "/root/repo/src/engine/counting.cc" "src/engine/CMakeFiles/ldl_engine.dir/counting.cc.o" "gcc" "src/engine/CMakeFiles/ldl_engine.dir/counting.cc.o.d"
+  "/root/repo/src/engine/fixpoint.cc" "src/engine/CMakeFiles/ldl_engine.dir/fixpoint.cc.o" "gcc" "src/engine/CMakeFiles/ldl_engine.dir/fixpoint.cc.o.d"
+  "/root/repo/src/engine/magic.cc" "src/engine/CMakeFiles/ldl_engine.dir/magic.cc.o" "gcc" "src/engine/CMakeFiles/ldl_engine.dir/magic.cc.o.d"
+  "/root/repo/src/engine/operators.cc" "src/engine/CMakeFiles/ldl_engine.dir/operators.cc.o" "gcc" "src/engine/CMakeFiles/ldl_engine.dir/operators.cc.o.d"
+  "/root/repo/src/engine/query_eval.cc" "src/engine/CMakeFiles/ldl_engine.dir/query_eval.cc.o" "gcc" "src/engine/CMakeFiles/ldl_engine.dir/query_eval.cc.o.d"
+  "/root/repo/src/engine/rule_eval.cc" "src/engine/CMakeFiles/ldl_engine.dir/rule_eval.cc.o" "gcc" "src/engine/CMakeFiles/ldl_engine.dir/rule_eval.cc.o.d"
+  "/root/repo/src/engine/unify.cc" "src/engine/CMakeFiles/ldl_engine.dir/unify.cc.o" "gcc" "src/engine/CMakeFiles/ldl_engine.dir/unify.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/ldl_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/ldl_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/ast/CMakeFiles/ldl_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/ldl_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldl_engine.dir/builtins.cc.o"
+  "CMakeFiles/ldl_engine.dir/builtins.cc.o.d"
+  "CMakeFiles/ldl_engine.dir/counting.cc.o"
+  "CMakeFiles/ldl_engine.dir/counting.cc.o.d"
+  "CMakeFiles/ldl_engine.dir/fixpoint.cc.o"
+  "CMakeFiles/ldl_engine.dir/fixpoint.cc.o.d"
+  "CMakeFiles/ldl_engine.dir/magic.cc.o"
+  "CMakeFiles/ldl_engine.dir/magic.cc.o.d"
+  "CMakeFiles/ldl_engine.dir/operators.cc.o"
+  "CMakeFiles/ldl_engine.dir/operators.cc.o.d"
+  "CMakeFiles/ldl_engine.dir/query_eval.cc.o"
+  "CMakeFiles/ldl_engine.dir/query_eval.cc.o.d"
+  "CMakeFiles/ldl_engine.dir/rule_eval.cc.o"
+  "CMakeFiles/ldl_engine.dir/rule_eval.cc.o.d"
+  "CMakeFiles/ldl_engine.dir/unify.cc.o"
+  "CMakeFiles/ldl_engine.dir/unify.cc.o.d"
+  "libldl_engine.a"
+  "libldl_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldl_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

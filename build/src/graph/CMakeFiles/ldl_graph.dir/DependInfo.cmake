@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/adornment.cc" "src/graph/CMakeFiles/ldl_graph.dir/adornment.cc.o" "gcc" "src/graph/CMakeFiles/ldl_graph.dir/adornment.cc.o.d"
+  "/root/repo/src/graph/binding.cc" "src/graph/CMakeFiles/ldl_graph.dir/binding.cc.o" "gcc" "src/graph/CMakeFiles/ldl_graph.dir/binding.cc.o.d"
+  "/root/repo/src/graph/dependency_graph.cc" "src/graph/CMakeFiles/ldl_graph.dir/dependency_graph.cc.o" "gcc" "src/graph/CMakeFiles/ldl_graph.dir/dependency_graph.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ast/CMakeFiles/ldl_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/ldl_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

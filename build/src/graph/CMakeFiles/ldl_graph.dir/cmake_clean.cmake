@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldl_graph.dir/adornment.cc.o"
+  "CMakeFiles/ldl_graph.dir/adornment.cc.o.d"
+  "CMakeFiles/ldl_graph.dir/binding.cc.o"
+  "CMakeFiles/ldl_graph.dir/binding.cc.o.d"
+  "CMakeFiles/ldl_graph.dir/dependency_graph.cc.o"
+  "CMakeFiles/ldl_graph.dir/dependency_graph.cc.o.d"
+  "libldl_graph.a"
+  "libldl_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldl_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

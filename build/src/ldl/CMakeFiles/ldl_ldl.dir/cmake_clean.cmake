@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldl_ldl.dir/ldl.cc.o"
+  "CMakeFiles/ldl_ldl.dir/ldl.cc.o.d"
+  "libldl_ldl.a"
+  "libldl_ldl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldl_ldl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

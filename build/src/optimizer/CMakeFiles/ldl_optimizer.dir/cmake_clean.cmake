@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldl_optimizer.dir/cost_model.cc.o"
+  "CMakeFiles/ldl_optimizer.dir/cost_model.cc.o.d"
+  "CMakeFiles/ldl_optimizer.dir/join_order.cc.o"
+  "CMakeFiles/ldl_optimizer.dir/join_order.cc.o.d"
+  "CMakeFiles/ldl_optimizer.dir/kbz.cc.o"
+  "CMakeFiles/ldl_optimizer.dir/kbz.cc.o.d"
+  "CMakeFiles/ldl_optimizer.dir/optimizer.cc.o"
+  "CMakeFiles/ldl_optimizer.dir/optimizer.cc.o.d"
+  "CMakeFiles/ldl_optimizer.dir/project_pushdown.cc.o"
+  "CMakeFiles/ldl_optimizer.dir/project_pushdown.cc.o.d"
+  "libldl_optimizer.a"
+  "libldl_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldl_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

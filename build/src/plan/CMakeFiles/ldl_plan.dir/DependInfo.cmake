@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/plan/interpreter.cc" "src/plan/CMakeFiles/ldl_plan.dir/interpreter.cc.o" "gcc" "src/plan/CMakeFiles/ldl_plan.dir/interpreter.cc.o.d"
+  "/root/repo/src/plan/processing_tree.cc" "src/plan/CMakeFiles/ldl_plan.dir/processing_tree.cc.o" "gcc" "src/plan/CMakeFiles/ldl_plan.dir/processing_tree.cc.o.d"
+  "/root/repo/src/plan/transform.cc" "src/plan/CMakeFiles/ldl_plan.dir/transform.cc.o" "gcc" "src/plan/CMakeFiles/ldl_plan.dir/transform.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/ldl_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ldl_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/ast/CMakeFiles/ldl_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/ldl_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/ldl_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldl_plan.dir/interpreter.cc.o"
+  "CMakeFiles/ldl_plan.dir/interpreter.cc.o.d"
+  "CMakeFiles/ldl_plan.dir/processing_tree.cc.o"
+  "CMakeFiles/ldl_plan.dir/processing_tree.cc.o.d"
+  "CMakeFiles/ldl_plan.dir/transform.cc.o"
+  "CMakeFiles/ldl_plan.dir/transform.cc.o.d"
+  "libldl_plan.a"
+  "libldl_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldl_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

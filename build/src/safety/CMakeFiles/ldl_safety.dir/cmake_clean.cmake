@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldl_safety.dir/safety.cc.o"
+  "CMakeFiles/ldl_safety.dir/safety.cc.o.d"
+  "libldl_safety.a"
+  "libldl_safety.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldl_safety.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldl_storage.dir/database.cc.o"
+  "CMakeFiles/ldl_storage.dir/database.cc.o.d"
+  "CMakeFiles/ldl_storage.dir/relation.cc.o"
+  "CMakeFiles/ldl_storage.dir/relation.cc.o.d"
+  "CMakeFiles/ldl_storage.dir/statistics.cc.o"
+  "CMakeFiles/ldl_storage.dir/statistics.cc.o.d"
+  "libldl_storage.a"
+  "libldl_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldl_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

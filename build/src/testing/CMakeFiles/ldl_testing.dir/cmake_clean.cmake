@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldl_testing.dir/query_gen.cc.o"
+  "CMakeFiles/ldl_testing.dir/query_gen.cc.o.d"
+  "CMakeFiles/ldl_testing.dir/workloads.cc.o"
+  "CMakeFiles/ldl_testing.dir/workloads.cc.o.d"
+  "libldl_testing.a"
+  "libldl_testing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldl_testing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libldl_testing.a"
+)

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cost_model_test.cc" "tests/CMakeFiles/cost_model_test.dir/cost_model_test.cc.o" "gcc" "tests/CMakeFiles/cost_model_test.dir/cost_model_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/testing/CMakeFiles/ldl_testing.dir/DependInfo.cmake"
+  "/root/repo/build/src/ldl/CMakeFiles/ldl_ldl.dir/DependInfo.cmake"
+  "/root/repo/build/src/optimizer/CMakeFiles/ldl_optimizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/safety/CMakeFiles/ldl_safety.dir/DependInfo.cmake"
+  "/root/repo/build/src/plan/CMakeFiles/ldl_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/ldl_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ldl_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/ldl_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/ast/CMakeFiles/ldl_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/ldl_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

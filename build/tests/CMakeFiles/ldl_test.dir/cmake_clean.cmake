@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldl_test.dir/ldl_test.cc.o"
+  "CMakeFiles/ldl_test.dir/ldl_test.cc.o.d"
+  "ldl_test"
+  "ldl_test.pdb"
+  "ldl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

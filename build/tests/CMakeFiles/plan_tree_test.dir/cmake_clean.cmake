@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plan_tree_test.dir/plan_tree_test.cc.o"
+  "CMakeFiles/plan_tree_test.dir/plan_tree_test.cc.o.d"
+  "plan_tree_test"
+  "plan_tree_test.pdb"
+  "plan_tree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plan_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/project_pushdown_test.dir/project_pushdown_test.cc.o"
+  "CMakeFiles/project_pushdown_test.dir/project_pushdown_test.cc.o.d"
+  "project_pushdown_test"
+  "project_pushdown_test.pdb"
+  "project_pushdown_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/project_pushdown_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

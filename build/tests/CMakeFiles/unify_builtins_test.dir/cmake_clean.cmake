@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unify_builtins_test.dir/unify_builtins_test.cc.o"
+  "CMakeFiles/unify_builtins_test.dir/unify_builtins_test.cc.o.d"
+  "unify_builtins_test"
+  "unify_builtins_test.pdb"
+  "unify_builtins_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unify_builtins_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/base_test[1]_include.cmake")
+include("/root/repo/build/tests/term_test[1]_include.cmake")
+include("/root/repo/build/tests/parser_test[1]_include.cmake")
+include("/root/repo/build/tests/program_test[1]_include.cmake")
+include("/root/repo/build/tests/unify_builtins_test[1]_include.cmake")
+include("/root/repo/build/tests/relation_test[1]_include.cmake")
+include("/root/repo/build/tests/depgraph_test[1]_include.cmake")
+include("/root/repo/build/tests/adornment_test[1]_include.cmake")
+include("/root/repo/build/tests/fixpoint_test[1]_include.cmake")
+include("/root/repo/build/tests/cost_model_test[1]_include.cmake")
+include("/root/repo/build/tests/join_order_test[1]_include.cmake")
+include("/root/repo/build/tests/optimizer_test[1]_include.cmake")
+include("/root/repo/build/tests/safety_test[1]_include.cmake")
+include("/root/repo/build/tests/plan_tree_test[1]_include.cmake")
+include("/root/repo/build/tests/ldl_test[1]_include.cmake")
+include("/root/repo/build/tests/magic_counting_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_stress_test[1]_include.cmake")
+include("/root/repo/build/tests/project_pushdown_test[1]_include.cmake")
+include("/root/repo/build/tests/interpreter_test[1]_include.cmake")
+include("/root/repo/build/tests/annotate_test[1]_include.cmake")
+include("/root/repo/build/tests/operators_test[1]_include.cmake")
+include("/root/repo/build/tests/scenario_test[1]_include.cmake")
