@@ -1,0 +1,99 @@
+#include "analysis/diagnostic.h"
+
+#include <sstream>
+
+#include "base/strings.h"
+
+namespace ldl {
+
+const char* SeverityToString(Severity severity) {
+  switch (severity) {
+    case Severity::kNote:
+      return "note";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "?";
+}
+
+std::string SourceLocation::ToString() const {
+  if (rule_index == SIZE_MAX) return context;
+  if (context.empty()) return StrCat("rule ", rule_index);
+  return StrCat("rule ", rule_index, ": ", context);
+}
+
+std::string Diagnostic::ToString() const {
+  std::string out = StrCat(SeverityToString(severity), " ", code, ": ",
+                           message);
+  if (!location.empty()) {
+    out += StrCat("  (", location.ToString(), ")");
+  }
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Diagnostic& diagnostic) {
+  return os << diagnostic.ToString();
+}
+
+void DiagnosticSink::Report(Diagnostic diagnostic) {
+  if (diagnostic.severity == Severity::kError) error_count_++;
+  if (diagnostic.severity == Severity::kWarning) warning_count_++;
+  diagnostics_.push_back(std::move(diagnostic));
+}
+
+void DiagnosticSink::Error(std::string code, std::string message,
+                           SourceLocation loc) {
+  Report({std::move(code), Severity::kError, std::move(message),
+          std::move(loc)});
+}
+
+void DiagnosticSink::Warning(std::string code, std::string message,
+                             SourceLocation loc) {
+  Report({std::move(code), Severity::kWarning, std::move(message),
+          std::move(loc)});
+}
+
+void DiagnosticSink::Note(std::string code, std::string message,
+                          SourceLocation loc) {
+  Report({std::move(code), Severity::kNote, std::move(message),
+          std::move(loc)});
+}
+
+bool DiagnosticSink::Has(const std::string& code) const {
+  for (const Diagnostic& d : diagnostics_) {
+    if (d.code == code) return true;
+  }
+  return false;
+}
+
+size_t DiagnosticSink::Count(const std::string& code) const {
+  size_t n = 0;
+  for (const Diagnostic& d : diagnostics_) {
+    if (d.code == code) n++;
+  }
+  return n;
+}
+
+std::string DiagnosticSink::ToString() const {
+  std::ostringstream os;
+  for (const Diagnostic& d : diagnostics_) os << d.ToString() << '\n';
+  return os.str();
+}
+
+Status DiagnosticSink::ToStatus(StatusCode code) const {
+  if (!HasErrors()) return Status::OK();
+  std::ostringstream os;
+  bool first = true;
+  for (const Diagnostic& d : diagnostics_) {
+    if (d.severity != Severity::kError) continue;
+    if (!first) os << "; ";
+    first = false;
+    os << d.code << ": " << d.message;
+    if (!d.location.empty()) os << " (" << d.location.ToString() << ")";
+  }
+  return Status(code, os.str());
+}
+
+}  // namespace ldl

@@ -1,0 +1,98 @@
+#ifndef LDLOPT_ANALYSIS_DIAGNOSTIC_H_
+#define LDLOPT_ANALYSIS_DIAGNOSTIC_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+
+namespace ldl {
+
+/// Severity of a diagnostic. Errors make the analyzed artifact unusable
+/// (the program is ill-formed / the plan violates an invariant); warnings
+/// flag likely mistakes that do not prevent execution; notes carry
+/// supplementary context.
+enum class Severity {
+  kNote,
+  kWarning,
+  kError,
+};
+
+const char* SeverityToString(Severity severity);
+
+/// Where a diagnostic points. The AST carries no text offsets, so locations
+/// are structural: a rule index into Program::rules() (or SIZE_MAX when the
+/// subject is a fact, query, predicate, or plan node) plus a rendered
+/// snippet of the offending construct.
+struct SourceLocation {
+  size_t rule_index = SIZE_MAX;
+  std::string context;  ///< e.g. "anc(X, Y) <- par(X, Z), anc(Z, Y)."
+
+  static SourceLocation ForRule(size_t index, std::string rendered) {
+    return {index, std::move(rendered)};
+  }
+  static SourceLocation For(std::string rendered) {
+    return {SIZE_MAX, std::move(rendered)};
+  }
+
+  bool empty() const { return rule_index == SIZE_MAX && context.empty(); }
+  /// "rule 3: anc(X, Y) <- ..." or just the context.
+  std::string ToString() const;
+};
+
+/// One finding of a static-analysis pass. `code` is a stable identifier
+/// (L001..L999 for the program linter, V001..V999 for the plan verifier)
+/// that tests and tooling may match on; the catalog lives in DESIGN.md.
+struct Diagnostic {
+  std::string code;
+  Severity severity = Severity::kError;
+  std::string message;
+  SourceLocation location;
+
+  /// "error L001: predicate p used with arities 2 and 3 (rule 1: ...)".
+  std::string ToString() const;
+};
+
+std::ostream& operator<<(std::ostream& os, const Diagnostic& diagnostic);
+
+/// Collects diagnostics from one or more passes, in emission order. Passes
+/// take a sink pointer; callers inspect counts or convert to a Status.
+class DiagnosticSink {
+ public:
+  DiagnosticSink() = default;
+
+  void Report(Diagnostic diagnostic);
+  void Error(std::string code, std::string message, SourceLocation loc = {});
+  void Warning(std::string code, std::string message, SourceLocation loc = {});
+  void Note(std::string code, std::string message, SourceLocation loc = {});
+
+  const std::vector<Diagnostic>& diagnostics() const { return diagnostics_; }
+  size_t error_count() const { return error_count_; }
+  size_t warning_count() const { return warning_count_; }
+  bool HasErrors() const { return error_count_ > 0; }
+  bool empty() const { return diagnostics_.empty(); }
+
+  /// True iff some diagnostic carries `code` (any severity).
+  bool Has(const std::string& code) const;
+  /// Number of diagnostics carrying `code`.
+  size_t Count(const std::string& code) const;
+
+  /// One diagnostic per line.
+  std::string ToString() const;
+
+  /// OK when no errors were reported; otherwise a status of `code` whose
+  /// message lists every error (warnings are not included).
+  Status ToStatus(StatusCode code = StatusCode::kInvalidArgument) const;
+
+ private:
+  std::vector<Diagnostic> diagnostics_;
+  size_t error_count_ = 0;
+  size_t warning_count_ = 0;
+};
+
+}  // namespace ldl
+
+#endif  // LDLOPT_ANALYSIS_DIAGNOSTIC_H_

@@ -1,0 +1,75 @@
+#ifndef LDLOPT_ANALYSIS_LINTER_H_
+#define LDLOPT_ANALYSIS_LINTER_H_
+
+#include "analysis/diagnostic.h"
+#include "ast/program.h"
+#include "base/status.h"
+
+namespace ldl {
+
+/// Which lint checks run. Every check is on by default; the flags exist so
+/// tooling (ldl_lint --no-style) and tests can focus a single pass.
+struct LintOptions {
+  bool check_arity = true;          ///< L001
+  bool check_range = true;          ///< L002
+  bool check_singletons = true;     ///< L003
+  bool check_stratification = true; ///< L004
+  bool check_undefined = true;      ///< L005
+  bool check_unused = true;         ///< L006
+  bool check_duplicates = true;     ///< L007
+  bool check_structure = true;      ///< L008, L009
+};
+
+/// Static checks over an ast::Program, run before the program reaches the
+/// optimizer or engine. Error codes are stable (see DESIGN.md §7):
+///
+///   L001 error    predicate used with more than one arity
+///   L002 error    head variable not range-restricted (never grounded by a
+///                 positive body literal or a chain of `=` builtins)
+///   L003 warning  singleton variable (occurs exactly once in its rule and
+///                 does not start with `_`)
+///   L004 error    unstratified negation: a negated body literal whose
+///                 predicate is in the same recursive clique as the head,
+///                 or any negative cycle found by the dependency graph
+///   L005 warning  predicate used in a body or query but defined by no rule
+///                 or fact (must be a base relation loaded externally)
+///   L006 warning  derived predicate never used in a body or query (only
+///                 reported when the program declares at least one query —
+///                 a query-less file is a library whose heads are all
+///                 entry points)
+///   L007 warning  duplicate rule (syntactically identical, including
+///                 variable names)
+///   L008 error    malformed clause: builtin or negated literal as a rule
+///                 head, or negation applied to a builtin
+///   L009 error    non-ground fact
+///
+/// The linter never mutates the program; all findings go to the sink.
+class ProgramLinter {
+ public:
+  explicit ProgramLinter(const Program& program, LintOptions options = {});
+
+  /// Runs every enabled check, appending findings to `sink`.
+  void Lint(DiagnosticSink* sink) const;
+
+ private:
+  void CheckArities(DiagnosticSink* sink) const;
+  void CheckRangeRestriction(DiagnosticSink* sink) const;
+  void CheckSingletons(DiagnosticSink* sink) const;
+  void CheckStratification(DiagnosticSink* sink) const;
+  void CheckUndefined(DiagnosticSink* sink) const;
+  void CheckUnused(DiagnosticSink* sink) const;
+  void CheckDuplicates(DiagnosticSink* sink) const;
+  void CheckStructure(DiagnosticSink* sink) const;
+
+  const Program& program_;
+  LintOptions options_;
+};
+
+/// Convenience wrapper: lints `program` and returns OK iff no errors were
+/// found (warnings do not fail). The full findings, warnings included, can
+/// be retrieved by running ProgramLinter with an own sink.
+Status LintProgram(const Program& program, LintOptions options = {});
+
+}  // namespace ldl
+
+#endif  // LDLOPT_ANALYSIS_LINTER_H_

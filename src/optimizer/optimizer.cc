@@ -5,6 +5,7 @@
 #include <set>
 #include <sstream>
 
+#include "analysis/plan_verifier.h"
 #include "base/strings.h"
 #include "engine/counting.h"
 #include "safety/safety.h"
@@ -580,6 +581,15 @@ Result<QueryPlan> Optimizer::Optimize(const Literal& goal) {
                           : RecursionMethod::kSemiNaive;
   }
   plan.search_stats = search_stats_;
+
+  // verify_plans: materialize the decisions into a processing tree and
+  // check the §4/§5 invariants held through the search. Unsafe plans carry
+  // no executable decisions to verify.
+  if (options_.verify_plans && plan.safe) {
+    LDL_ASSIGN_OR_RETURN(std::unique_ptr<PlanNode> tree,
+                         BuildProcessingTree(program_, goal));
+    LDL_RETURN_NOT_OK(AnnotateTree(tree.get()));
+  }
   return plan;
 }
 
@@ -621,7 +631,14 @@ std::string QueryPlan::Explain(const Program& program) const {
 // --- Processing-tree annotation -------------------------------------------
 
 Status Optimizer::AnnotateTree(PlanNode* tree) {
-  return AnnotateNode(tree, Adornment::FromGoal(tree->goal));
+  LDL_RETURN_NOT_OK(AnnotateNode(tree, Adornment::FromGoal(tree->goal)));
+  if (options_.verify_plans) {
+    PlanVerifierOptions vopts;
+    vopts.allow_magic = options_.enable_magic;
+    vopts.allow_counting = options_.enable_counting;
+    LDL_RETURN_NOT_OK(PlanVerifier(program_, vopts).Verify(*tree));
+  }
+  return Status::OK();
 }
 
 Status Optimizer::AnnotateNode(PlanNode* node, const Adornment& binding) {
@@ -674,32 +691,58 @@ Status Optimizer::AnnotateNode(PlanNode* node, const Adornment& binding) {
       return Status::OK();
     }
     case PlanNodeKind::kAnd: {
+      if (node->rule_index >= program_.rules().size()) {
+        return Status::Internal(
+            StrCat("AND node references rule ", node->rule_index,
+                   " of a program with ", program_.rules().size(), " rules"));
+      }
+      const Rule& rule = program_.rules()[node->rule_index];
+      if (node->children.size() != rule.body().size() ||
+          node->body_order.size() != rule.body().size()) {
+        return Status::Internal(
+            StrCat("AND node for rule ", node->rule_index, " has ",
+                   node->children.size(), " children / ",
+                   node->body_order.size(), " order entries for a body of ",
+                   rule.body().size(), " literals"));
+      }
       Subplan sub = OptimizeRule(node->rule_index, binding);
       node->est_cost = sub.est.setup + sub.est.per_binding;
       node->est_cardinality = sub.est.card;
       auto it = sub.orders.find(node->rule_index);
       if (it != sub.orders.end()) {
-        // PR: reorder the children into the chosen execution order.
+        // PR: reorder the children into the chosen execution order. Resolve
+        // every chosen position to a child slot before moving anything, so
+        // a mismatched order leaves the node untouched instead of nulling
+        // the children it had already moved out.
         const std::vector<size_t>& chosen = it->second;
-        std::vector<std::unique_ptr<PlanNode>> new_children;
-        std::vector<size_t> new_order;
+        std::vector<size_t> slots;
+        std::vector<bool> taken(node->children.size(), false);
+        slots.reserve(chosen.size());
         for (size_t original : chosen) {
           for (size_t j = 0; j < node->body_order.size(); ++j) {
-            if (node->body_order[j] == original && node->children[j]) {
-              new_children.push_back(std::move(node->children[j]));
-              new_order.push_back(original);
+            if (node->body_order[j] == original && !taken[j] &&
+                node->children[j]) {
+              slots.push_back(j);
+              taken[j] = true;
               break;
             }
           }
         }
-        if (new_children.size() == node->children.size()) {
+        if (slots.size() == node->children.size()) {
+          std::vector<std::unique_ptr<PlanNode>> new_children;
+          std::vector<size_t> new_order;
+          new_children.reserve(slots.size());
+          new_order.reserve(slots.size());
+          for (size_t j : slots) {
+            new_children.push_back(std::move(node->children[j]));
+            new_order.push_back(node->body_order[j]);
+          }
           node->children = std::move(new_children);
           node->body_order = std::move(new_order);
         }
       }
       // Children bindings via sideways information passing along the
       // chosen order.
-      const Rule& rule = program_.rules()[node->rule_index];
       BoundVars bound;
       BindHeadVariables(rule.head(), binding, &bound);
       for (size_t j = 0; j < node->children.size(); ++j) {

@@ -46,6 +46,14 @@ struct OptimizerOptions {
   /// uses it as a pre-processing step because magic/counting only push
   /// selections.
   bool push_projections = true;
+
+  /// Run the PlanVerifier (src/analysis/plan_verifier.h) over the annotated
+  /// processing tree of every safe plan Optimize produces, and over every
+  /// tree AnnotateTree returns: each transformation the search applied must
+  /// leave the §4/§5 structural invariants intact. A violation turns into a
+  /// kInternal error instead of a silently wrong plan. On in tests and
+  /// debug tooling; off by default to keep production optimization lean.
+  bool verify_plans = false;
 };
 
 /// Search-effort accounting, the currency of experiments E2/E3/E6.
@@ -100,6 +108,10 @@ class Optimizer {
   /// `program` and `stats` must outlive the optimizer.
   Optimizer(const Program& program, const Statistics& stats,
             OptimizerOptions options = {});
+  /// Only references are stored; binding them to temporaries dangles (an
+  /// AddressSanitizer find — see tests/analysis_test.cc history).
+  Optimizer(const Program&&, const Statistics&, OptimizerOptions = {}) = delete;
+  Optimizer(const Program&, const Statistics&&, OptimizerOptions = {}) = delete;
 
   /// Optimizes one query form. Optimization is query-specific: p(c, Y) and
   /// p(X, Y) produce independent plans (section 2).

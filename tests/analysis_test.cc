@@ -1,0 +1,409 @@
+// Tests for the static-analysis subsystem: the Diagnostic framework, every
+// ProgramLinter code (positive trigger + clean-program negative), and
+// PlanVerifier rejection of deliberately corrupted processing trees.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <utility>
+
+#include "analysis/diagnostic.h"
+#include "analysis/linter.h"
+#include "analysis/plan_verifier.h"
+#include "ast/parser.h"
+#include "ldl/ldl.h"
+#include "optimizer/optimizer.h"
+#include "plan/processing_tree.h"
+#include "storage/statistics.h"
+
+namespace ldl {
+namespace {
+
+Program P(const char* text) {
+  auto r = ParseProgram(text);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return *r;
+}
+
+Literal L(const char* text) {
+  auto r = ParseLiteral(text);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return *r;
+}
+
+DiagnosticSink LintAll(const Program& program, LintOptions options = {}) {
+  DiagnosticSink sink;
+  ProgramLinter(program, options).Lint(&sink);
+  return sink;
+}
+
+// --- Diagnostic framework -------------------------------------------------
+
+TEST(DiagnosticTest, SinkCountsAndRendersBySeverity) {
+  DiagnosticSink sink;
+  sink.Error("L001", "first", SourceLocation::ForRule(2, "p(X) <- q(X)."));
+  sink.Warning("L003", "second");
+  sink.Note("L003", "third");
+  EXPECT_EQ(sink.error_count(), 1u);
+  EXPECT_EQ(sink.warning_count(), 1u);
+  EXPECT_TRUE(sink.HasErrors());
+  EXPECT_TRUE(sink.Has("L001"));
+  EXPECT_EQ(sink.Count("L003"), 2u);
+  EXPECT_FALSE(sink.Has("L999"));
+  EXPECT_NE(sink.ToString().find("error L001: first"), std::string::npos);
+  EXPECT_NE(sink.ToString().find("rule 2: p(X) <- q(X)."), std::string::npos);
+  EXPECT_NE(sink.ToString().find("warning L003"), std::string::npos);
+}
+
+TEST(DiagnosticTest, ToStatusListsOnlyErrors) {
+  DiagnosticSink clean;
+  clean.Warning("L003", "just a warning");
+  EXPECT_TRUE(clean.ToStatus().ok());
+
+  DiagnosticSink dirty;
+  dirty.Error("V001", "broken");
+  dirty.Warning("L003", "noise");
+  Status st = dirty.ToStatus(StatusCode::kInternal);
+  EXPECT_EQ(st.code(), StatusCode::kInternal);
+  EXPECT_NE(st.message().find("V001: broken"), std::string::npos);
+  EXPECT_EQ(st.message().find("L003"), std::string::npos);
+}
+
+// --- ProgramLinter: clean programs ----------------------------------------
+
+TEST(LinterTest, CleanProgramHasNoDiagnostics) {
+  Program p = P(R"(
+    par(bart, homer).
+    anc(X, Y) <- par(X, Y).
+    anc(X, Y) <- par(X, Z), anc(Z, Y).
+    anc(bart, Y)?
+  )");
+  DiagnosticSink sink = LintAll(p);
+  EXPECT_TRUE(sink.empty()) << sink.ToString();
+  EXPECT_TRUE(LintProgram(p).ok());
+}
+
+TEST(LinterTest, UnderscorePrefixSilencesSingletons) {
+  Program p = P(R"(
+    emp(ann, 100).
+    rich(X) <- emp(X, _Salary).
+    rich(X)?
+  )");
+  EXPECT_TRUE(LintAll(p).empty());
+}
+
+// --- ProgramLinter: every code fires --------------------------------------
+
+TEST(LinterTest, L001ArityMismatch) {
+  // The parser rejects mixed arities itself, so build the program directly
+  // (the linter must also protect programmatically-assembled rule bases).
+  Program p;
+  p.AddRule(Rule(L("p(X, Y)"), {L("q(X)"), L("q(X, Y)")}));
+  DiagnosticSink sink = LintAll(p);
+  EXPECT_TRUE(sink.Has("L001")) << sink.ToString();
+  EXPECT_TRUE(sink.HasErrors());
+  EXPECT_FALSE(LintProgram(p).ok());
+}
+
+TEST(LinterTest, L002RangeRestriction) {
+  Program p = P("r(X, Y) <- s(X).");
+  DiagnosticSink sink = LintAll(p);
+  ASSERT_TRUE(sink.Has("L002")) << sink.ToString();
+  EXPECT_EQ(sink.Count("L002"), 1u);  // only Y; X is grounded by s(X)
+}
+
+TEST(LinterTest, L002HonorsEqualityChains) {
+  // Y is grounded through `=` from a grounded variable: no diagnostic.
+  Program p = P("r(X, Y) <- s(X), Y = X + 1.");
+  EXPECT_FALSE(LintAll(p).Has("L002"));
+}
+
+TEST(LinterTest, L003SingletonVariable) {
+  Program p = P("r(X) <- s(X, Lonely).");
+  DiagnosticSink sink = LintAll(p);
+  ASSERT_TRUE(sink.Has("L003")) << sink.ToString();
+  EXPECT_FALSE(sink.HasErrors());  // style warning only
+
+  LintOptions no_style;
+  no_style.check_singletons = false;
+  EXPECT_FALSE(LintAll(p, no_style).Has("L003"));
+}
+
+TEST(LinterTest, L004UnstratifiedNegation) {
+  Program p = P(R"(
+    win(X) <- move(X, Y), not win(Y).
+  )");
+  DiagnosticSink sink = LintAll(p);
+  EXPECT_TRUE(sink.Has("L004")) << sink.ToString();
+  EXPECT_FALSE(LintProgram(p).ok());
+
+  // Stratified negation across cliques is fine.
+  Program ok = P(R"(
+    reach(X, Y) <- edge(X, Y).
+    reach(X, Y) <- edge(X, Z), reach(Z, Y).
+    cut(X, Y) <- node(X), node(Y), not reach(X, Y).
+  )");
+  EXPECT_FALSE(LintAll(ok).Has("L004"));
+}
+
+TEST(LinterTest, L005UndefinedPredicate) {
+  Program p = P("r(X) <- ghost(X).");
+  DiagnosticSink sink = LintAll(p);
+  EXPECT_TRUE(sink.Has("L005")) << sink.ToString();
+
+  // Facts define the predicate: no warning.
+  Program ok = P(R"(
+    ghost(1).
+    r(X) <- ghost(X).
+  )");
+  EXPECT_FALSE(LintAll(ok).Has("L005"));
+}
+
+TEST(LinterTest, L006UnusedPredicate) {
+  Program p = P(R"(
+    a(1).
+    used(X) <- a(X).
+    orphan(X) <- a(X).
+    used(X)?
+  )");
+  DiagnosticSink sink = LintAll(p);
+  EXPECT_EQ(sink.Count("L006"), 1u) << sink.ToString();
+
+  // Self-recursive but queried: reachable, no warning. And a query-less
+  // program is a library — every head is an entry point.
+  Program recursive = P(R"(
+    anc(X, Y) <- par(X, Y).
+    anc(X, Y) <- par(X, Z), anc(Z, Y).
+    anc(X, Y)?
+  )");
+  EXPECT_FALSE(LintAll(recursive).Has("L006"));
+  Program library = P("orphan(X) <- a(X).");
+  EXPECT_FALSE(LintAll(library).Has("L006"));
+}
+
+TEST(LinterTest, L007DuplicateRule) {
+  Program p = P(R"(
+    r(X) <- s(X).
+    r(X) <- s(X).
+  )");
+  DiagnosticSink sink = LintAll(p);
+  EXPECT_EQ(sink.Count("L007"), 1u) << sink.ToString();
+  // Same logic under renamed variables is (deliberately) not flagged.
+  Program renamed = P(R"(
+    r(X) <- s(X).
+    r(Y) <- s(Y).
+  )");
+  EXPECT_FALSE(LintAll(renamed).Has("L007"));
+}
+
+TEST(LinterTest, L008MalformedClause) {
+  // Negated head and negated builtin are parser-rejected; assemble directly.
+  Program negated_head;
+  negated_head.AddRule(Rule(Literal::MakeNegated("p", {Term::MakeVariable("X")}),
+                            {L("q(X)")}));
+  EXPECT_TRUE(LintAll(negated_head).Has("L008"));
+
+  Program builtin_head;
+  builtin_head.AddRule(Rule(
+      Literal::MakeBuiltin(BuiltinKind::kLt, Term::MakeVariable("X"),
+                           Term::MakeInt(3)),
+      {L("q(X)")}));
+  EXPECT_TRUE(LintAll(builtin_head).Has("L008"));
+}
+
+TEST(LinterTest, L009NonGroundFact) {
+  Program p;
+  p.AddFact(L("par(bart, Who)"));
+  DiagnosticSink sink = LintAll(p);
+  EXPECT_TRUE(sink.Has("L009")) << sink.ToString();
+}
+
+// --- PlanVerifier ----------------------------------------------------------
+
+constexpr const char* kJoinProgram = "q(X, Z) <- huge(X, Y), tiny(Y, Z).";
+
+constexpr const char* kSgProgram = R"(
+  sg(X, Y) <- flat(X, Y).
+  sg(X, Y) <- up(X, X1), sg(X1, Y1), dn(Y1, Y).
+)";
+
+Statistics JoinStats() {
+  Statistics stats;
+  stats.Set({"huge", 2}, {100000.0, {100000.0, 300.0}});
+  stats.Set({"tiny", 2}, {10.0, {10.0, 10.0}});
+  return stats;
+}
+
+Statistics SgStats() {
+  Statistics stats;
+  stats.Set({"up", 2}, {10000.0, {10000.0, 3333.0}});
+  stats.Set({"dn", 2}, {10000.0, {3333.0, 10000.0}});
+  stats.Set({"flat", 2}, {1000.0, {1000.0, 1000.0}});
+  return stats;
+}
+
+std::unique_ptr<PlanNode> Tree(const Program& p, const Literal& goal) {
+  auto tree = BuildProcessingTree(p, goal);
+  EXPECT_TRUE(tree.ok()) << tree.status();
+  return std::move(*tree);
+}
+
+std::unique_ptr<PlanNode> AnnotatedTree(const Program& p,
+                                        const Statistics& stats,
+                                        const Literal& goal) {
+  auto tree = Tree(p, goal);
+  Optimizer opt(p, stats);
+  EXPECT_TRUE(opt.AnnotateTree(tree.get()).ok());
+  return tree;
+}
+
+TEST(PlanVerifierTest, AcceptsBuilderAndAnnotatedTrees) {
+  Program p = P(kJoinProgram);
+  PlanVerifier verifier(p);
+  auto raw = Tree(p, L("q(X, Z)"));
+  EXPECT_TRUE(verifier.Verify(*raw).ok());
+  auto annotated = AnnotatedTree(p, JoinStats(), L("q(X, Z)"));
+  EXPECT_TRUE(verifier.Verify(*annotated).ok());
+
+  Program sg = P(kSgProgram);
+  PlanVerifier sg_verifier(sg);
+  auto sg_bound = AnnotatedTree(sg, SgStats(), L("sg(1, Y)"));
+  EXPECT_TRUE(sg_verifier.Verify(*sg_bound).ok());
+  auto sg_free = AnnotatedTree(sg, SgStats(), L("sg(X, Y)"));
+  EXPECT_TRUE(sg_verifier.Verify(*sg_free).ok());
+}
+
+TEST(PlanVerifierTest, RejectsShuffledAndChildren) {
+  Program p = P(kJoinProgram);
+  auto tree = Tree(p, L("q(X, Z)"));
+  PlanNode* and_node = tree->children[0].get();
+  // Swap the children but not body_order: child j no longer computes the
+  // body literal body_order[j] says it does.
+  std::swap(and_node->children[0], and_node->children[1]);
+  DiagnosticSink sink;
+  PlanVerifier verifier(p);
+  EXPECT_FALSE(verifier.Verify(*tree, &sink).ok());
+  EXPECT_TRUE(sink.Has("V001")) << sink.ToString();
+}
+
+TEST(PlanVerifierTest, RejectsDroppedAndChild) {
+  Program p = P(kJoinProgram);
+  auto tree = Tree(p, L("q(X, Z)"));
+  PlanNode* and_node = tree->children[0].get();
+  and_node->children.pop_back();
+  and_node->body_order.pop_back();
+  DiagnosticSink sink;
+  PlanVerifier(p).Verify(*tree, &sink);
+  EXPECT_TRUE(sink.Has("V001")) << sink.ToString();
+}
+
+TEST(PlanVerifierTest, RejectsWrongBindingPattern) {
+  Program p = P(kJoinProgram);
+  auto tree = AnnotatedTree(p, JoinStats(), L("q(1, Z)"));
+  PlanNode* and_node = tree->children[0].get();
+  // Corrupt the adornment of the first executed child: claim its first
+  // argument is free although the SIP walk binds it (or vice versa).
+  Adornment corrupted = and_node->children[0]->binding;
+  corrupted.SetBound(0, !corrupted.IsBound(0));
+  and_node->children[0]->binding = corrupted;
+  DiagnosticSink sink;
+  PlanVerifier(p).Verify(*tree, &sink);
+  EXPECT_TRUE(sink.Has("V002")) << sink.ToString();
+}
+
+TEST(PlanVerifierTest, RejectsNonEcOrder) {
+  // Textual order a(X), Y = X + 1 is effectively computable; the reversed
+  // order must evaluate the arithmetic with X unbound.
+  Program p = P("r(X, Y) <- a(X), Y = X + 1.");
+  Statistics stats;
+  stats.Set({"a", 1}, {100.0, {100.0}});
+  auto tree = AnnotatedTree(p, stats, L("r(X, Y)"));
+  PlanNode* and_node = tree->children[0].get();
+  ASSERT_EQ(and_node->children.size(), 2u);
+  std::swap(and_node->children[0], and_node->children[1]);
+  std::swap(and_node->body_order[0], and_node->body_order[1]);
+  DiagnosticSink sink;
+  PlanVerifier(p).Verify(*tree, &sink);
+  EXPECT_TRUE(sink.Has("V003")) << sink.ToString();
+}
+
+TEST(PlanVerifierTest, RejectsBogusCcMethod) {
+  Program p = P(kSgProgram);
+  auto tree = Tree(p, L("sg(1, Y)"));
+  ASSERT_EQ(tree->kind, PlanNodeKind::kCc);
+  tree->method = "bogus";
+  DiagnosticSink sink;
+  PlanVerifier(p).Verify(*tree, &sink);
+  EXPECT_TRUE(sink.Has("V004")) << sink.ToString();
+
+  // A method the optimizer options exclude is equally invalid.
+  tree->method = "magic";
+  PlanVerifierOptions no_magic;
+  no_magic.allow_magic = false;
+  DiagnosticSink sink2;
+  PlanVerifier(p, no_magic).Verify(*tree, &sink2);
+  EXPECT_TRUE(sink2.Has("V004")) << sink2.ToString();
+}
+
+TEST(PlanVerifierTest, RejectsCorruptedCliqueOrders) {
+  Program p = P(kSgProgram);
+  auto tree = Tree(p, L("sg(1, Y)"));
+  ASSERT_FALSE(tree->clique_orders.empty());
+  tree->clique_orders[0] = {0, 0};  // not a permutation
+  DiagnosticSink sink;
+  PlanVerifier(p).Verify(*tree, &sink);
+  EXPECT_TRUE(sink.Has("V001")) << sink.ToString();
+}
+
+TEST(PlanVerifierTest, RejectsScanOfDerivedPredicate) {
+  Program p = P(kJoinProgram);
+  auto tree = Tree(p, L("q(X, Z)"));
+  auto scan = std::make_unique<PlanNode>();
+  scan->kind = PlanNodeKind::kScan;
+  scan->method = "scan";
+  scan->goal = L("q(X, Z)");
+  DiagnosticSink sink;
+  PlanVerifier(p).Verify(*scan, &sink);
+  EXPECT_TRUE(sink.Has("V005")) << sink.ToString();
+}
+
+TEST(PlanVerifierTest, RejectsMalformedShape) {
+  Program p = P(kJoinProgram);
+  auto tree = Tree(p, L("q(X, Z)"));
+  tree->binding = Adornment(1);          // arity-2 goal, size-1 adornment
+  tree->projection = {1, 1};             // duplicate columns
+  DiagnosticSink sink;
+  PlanVerifier(p).Verify(*tree, &sink);
+  EXPECT_GE(sink.Count("V006"), 2u) << sink.ToString();
+}
+
+// --- verify_plans wiring ---------------------------------------------------
+
+TEST(VerifyPlansTest, OptimizerVerifiesEveryPlanItEmits) {
+  Program p = P(kSgProgram);
+  Statistics stats = SgStats();
+  OptimizerOptions options;
+  options.verify_plans = true;
+  Optimizer opt(p, stats, options);
+  auto plan = opt.Optimize(L("sg(1, Y)"));
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_TRUE(plan->safe);
+}
+
+TEST(VerifyPlansTest, LdlSystemQueriesRunVerified) {
+  OptimizerOptions options;
+  options.verify_plans = true;
+  LdlSystem sys(options);
+  ASSERT_TRUE(sys.LoadProgram(R"(
+    par(bart, homer).  par(homer, abe).
+    anc(X, Y) <- par(X, Y).
+    anc(X, Y) <- par(X, Z), anc(Z, Y).
+  )")
+                  .ok());
+  auto answer = sys.Query("anc(bart, Y)");
+  ASSERT_TRUE(answer.ok()) << answer.status();
+  EXPECT_EQ(answer->answers.size(), 2u);
+}
+
+}  // namespace
+}  // namespace ldl

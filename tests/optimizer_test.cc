@@ -21,6 +21,14 @@ Literal L(const char* text) {
   return *r;
 }
 
+/// All optimizer tests run with plan verification on: every safe plan the
+/// search produces is materialized into a processing tree and checked
+/// against the §4/§5 structural invariants (src/analysis/plan_verifier.h).
+OptimizerOptions Verifying(OptimizerOptions options = {}) {
+  options.verify_plans = true;
+  return options;
+}
+
 constexpr const char* kSgRules = R"(
   sg(X, Y) <- flat(X, Y).
   sg(X, Y) <- up(X, X1), sg(X1, Y1), dn(Y1, Y).
@@ -39,7 +47,7 @@ TEST(OptimizerTest, NonRecursiveReordersBySelectivity) {
   Statistics stats;
   stats.Set({"huge", 2}, {100000.0, {100000.0, 300.0}});
   stats.Set({"tiny", 2}, {10.0, {10.0, 10.0}});
-  Optimizer opt(p, stats);
+  Optimizer opt(p, stats, Verifying());
   auto plan = opt.Optimize(L("q(X, Z)"));
   ASSERT_TRUE(plan.ok()) << plan.status();
   ASSERT_TRUE(plan->safe);
@@ -55,8 +63,8 @@ TEST(OptimizerTest, QuerySpecificPlans) {
   Statistics stats;
   stats.Set({"big1", 2}, {50000.0, {5000.0, 100.0}});
   stats.Set({"big2", 2}, {40000.0, {100.0, 4000.0}});
-  Optimizer opt_free(p, stats);
-  Optimizer opt_bound(p, stats);
+  Optimizer opt_free(p, stats, Verifying());
+  Optimizer opt_bound(p, stats, Verifying());
   auto free_plan = opt_free.Optimize(L("q(X, Z)"));
   auto bound_plan = opt_bound.Optimize(L("q(1, Z)"));
   ASSERT_TRUE(free_plan.ok() && bound_plan.ok());
@@ -71,7 +79,7 @@ TEST(OptimizerTest, QuerySpecificPlans) {
 TEST(OptimizerTest, BoundRecursiveQueryPicksMagicOrCounting) {
   Program p = P(kSgRules);
   Statistics stats = SgStats(10000.0);
-  Optimizer opt(p, stats);
+  Optimizer opt(p, stats, Verifying());
   auto plan = opt.Optimize(L("sg(5, Y)"));
   ASSERT_TRUE(plan.ok()) << plan.status();
   ASSERT_TRUE(plan->safe);
@@ -83,7 +91,7 @@ TEST(OptimizerTest, BoundRecursiveQueryPicksMagicOrCounting) {
 TEST(OptimizerTest, FreeRecursiveQueryPicksSemiNaive) {
   Program p = P(kSgRules);
   Statistics stats = SgStats(10000.0);
-  Optimizer opt(p, stats);
+  Optimizer opt(p, stats, Verifying());
   auto plan = opt.Optimize(L("sg(X, Y)"));
   ASSERT_TRUE(plan.ok()) << plan.status();
   ASSERT_TRUE(plan->safe);
@@ -96,8 +104,8 @@ TEST(OptimizerTest, CountingPreferredOverMagicWhenApplicable) {
   OptimizerOptions with_counting;
   OptimizerOptions without_counting;
   without_counting.enable_counting = false;
-  Optimizer opt1(p, stats, with_counting);
-  Optimizer opt2(p, stats, without_counting);
+  Optimizer opt1(p, stats, Verifying(with_counting));
+  Optimizer opt2(p, stats, Verifying(without_counting));
   auto plan1 = opt1.Optimize(L("sg(5, Y)"));
   auto plan2 = opt2.Optimize(L("sg(5, Y)"));
   ASSERT_TRUE(plan1.ok() && plan2.ok());
@@ -113,7 +121,7 @@ TEST(OptimizerTest, NonLinearCliqueSkipsCounting) {
   )");
   Statistics stats;
   stats.Set({"edge", 2}, {1000.0, {500.0, 500.0}});
-  Optimizer opt(p, stats);
+  Optimizer opt(p, stats, Verifying());
   auto plan = opt.Optimize(L("tc(1, Y)"));
   ASSERT_TRUE(plan.ok()) << plan.status();
   ASSERT_TRUE(plan->safe);
@@ -133,14 +141,14 @@ TEST(OptimizerTest, MemoizationOptimizesEachBindingOnce) {
   stats.Set({"base2", 1}, {50.0, {50.0}});
 
   OptimizerOptions memo_on;
-  Optimizer opt(p, stats, memo_on);
+  Optimizer opt(p, stats, Verifying(memo_on));
   auto plan = opt.Optimize(L("c(X)"));
   ASSERT_TRUE(plan.ok()) << plan.status();
   EXPECT_GT(plan->search_stats.memo_hits, 0u);
 
   OptimizerOptions memo_off;
   memo_off.memoize = false;
-  Optimizer opt2(p, stats, memo_off);
+  Optimizer opt2(p, stats, Verifying(memo_off));
   auto plan2 = opt2.Optimize(L("c(X)"));
   ASSERT_TRUE(plan2.ok()) << plan2.status();
   // Same plan quality, more work.
@@ -153,7 +161,7 @@ TEST(OptimizerTest, MemoizationOptimizesEachBindingOnce) {
 TEST(OptimizerTest, UnsafeQueryGetsInfiniteCostAndDiagnostic) {
   Program p = P("bigger(X, Y) <- X > Y.");
   Statistics stats;
-  Optimizer opt(p, stats);
+  Optimizer opt(p, stats, Verifying());
   auto plan = opt.Optimize(L("bigger(X, Y)"));
   ASSERT_TRUE(plan.ok()) << plan.status();
   EXPECT_FALSE(plan->safe);
@@ -165,7 +173,7 @@ TEST(OptimizerTest, BoundQueryOnComparisonRuleIsSafe) {
   // Same rule, fully bound query form: now computable.
   Program p = P("bigger(X, Y) <- X > Y.");
   Statistics stats;
-  Optimizer opt(p, stats);
+  Optimizer opt(p, stats, Verifying());
   auto plan = opt.Optimize(L("bigger(4, 2)"));
   ASSERT_TRUE(plan.ok()) << plan.status();
   EXPECT_TRUE(plan->safe) << plan->unsafe_reason;
@@ -177,7 +185,7 @@ TEST(OptimizerTest, ReorderingRescuesSafety) {
   Program p = P("q(Y) <- Y = X + 1, r(X).");
   Statistics stats;
   stats.Set({"r", 1}, {100.0, {100.0}});
-  Optimizer opt(p, stats);
+  Optimizer opt(p, stats, Verifying());
   auto plan = opt.Optimize(L("q(Y)"));
   ASSERT_TRUE(plan.ok()) << plan.status();
   ASSERT_TRUE(plan->safe) << plan->unsafe_reason;
@@ -191,7 +199,7 @@ TEST(OptimizerTest, ArithmeticRecursionRejectedAsUnsafe) {
   )");
   Statistics stats;
   stats.Set({"zero", 1}, {1.0, {1.0}});
-  Optimizer opt(p, stats);
+  Optimizer opt(p, stats, Verifying());
   auto plan = opt.Optimize(L("nat(X)"));
   ASSERT_TRUE(plan.ok()) << plan.status();
   EXPECT_FALSE(plan->safe);
@@ -205,13 +213,13 @@ TEST(OptimizerTest, ListConsumingRecursionIsSafeWhenBound) {
     member(X, [H | T]) <- member(X, T).
   )");
   Statistics stats;
-  Optimizer opt(p, stats);
+  Optimizer opt(p, stats, Verifying());
   // member(X, [1,2,3])?: bound second argument decreases structurally.
   auto bound_plan = opt.Optimize(L("member(X, [1, 2, 3])"));
   ASSERT_TRUE(bound_plan.ok()) << bound_plan.status();
   EXPECT_TRUE(bound_plan->safe) << bound_plan->unsafe_reason;
   // member(X, T)? builds ever-larger lists bottom-up: unsafe.
-  Optimizer opt2(p, stats);
+  Optimizer opt2(p, stats, Verifying());
   auto free_plan = opt2.Optimize(L("member(X, T)"));
   ASSERT_TRUE(free_plan.ok()) << free_plan.status();
   EXPECT_FALSE(free_plan->safe);
@@ -230,7 +238,7 @@ TEST(OptimizerTest, StrategiesAgreeOnSmallPrograms) {
        {SearchStrategy::kExhaustive, SearchStrategy::kDynamicProgramming}) {
     OptimizerOptions options;
     options.strategy = strategy;
-    Optimizer opt(p, stats, options);
+    Optimizer opt(p, stats, Verifying(options));
     auto plan = opt.Optimize(L("q(1, W)"));
     ASSERT_TRUE(plan.ok()) << plan.status();
     ASSERT_TRUE(plan->safe);
@@ -249,8 +257,8 @@ TEST(OptimizerTest, LexicographicBaselineIsNoBetterThanExhaustive) {
   stats.Set({"tiny", 2}, {10.0, {10.0, 10.0}});
   OptimizerOptions lex;
   lex.strategy = SearchStrategy::kLexicographic;
-  Optimizer opt_lex(p, stats, lex);
-  Optimizer opt_ex(p, stats);
+  Optimizer opt_lex(p, stats, Verifying(lex));
+  Optimizer opt_ex(p, stats, Verifying());
   auto plan_lex = opt_lex.Optimize(L("q(X, Z)"));
   auto plan_ex = opt_ex.Optimize(L("q(X, Z)"));
   ASSERT_TRUE(plan_lex.ok() && plan_ex.ok());
@@ -260,7 +268,7 @@ TEST(OptimizerTest, LexicographicBaselineIsNoBetterThanExhaustive) {
 TEST(OptimizerTest, ExplainMentionsMethodAndOrders) {
   Program p = P(kSgRules);
   Statistics stats = SgStats(1000.0);
-  Optimizer opt(p, stats);
+  Optimizer opt(p, stats, Verifying());
   auto plan = opt.Optimize(L("sg(5, Y)"));
   ASSERT_TRUE(plan.ok());
   std::string text = plan->Explain(p);
@@ -275,8 +283,8 @@ TEST(OptimizerTest, DeeperRecursionAssumptionRaisesCost) {
   OptimizerOptions shallow, deep;
   shallow.cost.assumed_recursion_depth = 4;
   deep.cost.assumed_recursion_depth = 16;
-  Optimizer opt1(p, stats, shallow);
-  Optimizer opt2(p, stats, deep);
+  Optimizer opt1(p, stats, Verifying(shallow));
+  Optimizer opt2(p, stats, Verifying(deep));
   auto plan1 = opt1.Optimize(L("sg(X, Y)"));
   auto plan2 = opt2.Optimize(L("sg(X, Y)"));
   ASSERT_TRUE(plan1.ok() && plan2.ok());
@@ -292,7 +300,7 @@ TEST(OptimizerTest, MutualRecursionEndToEnd) {
   Statistics stats;
   stats.Set({"zero", 1}, {1.0, {1.0}});
   stats.Set({"succ", 2}, {100.0, {100.0, 100.0}});
-  Optimizer opt(p, stats);
+  Optimizer opt(p, stats, Verifying());
   auto plan = opt.Optimize(L("even(40)"));
   ASSERT_TRUE(plan.ok()) << plan.status();
   ASSERT_TRUE(plan->safe) << plan->unsafe_reason;
@@ -312,7 +320,7 @@ TEST(OptimizerTest, CliqueBelowNonRecursivePredicate) {
   Statistics stats;
   stats.Set({"edge", 2}, {5000.0, {1000.0, 1000.0}});
   stats.Set({"label", 1}, {10.0, {10.0}});
-  Optimizer opt(p, stats);
+  Optimizer opt(p, stats, Verifying());
   auto plan = opt.Optimize(L("related(3, Y)"));
   ASSERT_TRUE(plan.ok()) << plan.status();
   ASSERT_TRUE(plan->safe);

@@ -19,8 +19,17 @@ std::set<std::string> AnswerSet(const Relation& r) {
   return out;
 }
 
+/// Every scenario runs with plan verification on: the processing tree of
+/// each optimized query is checked against the §4/§5 structural invariants
+/// (src/analysis/plan_verifier.h) before execution.
+OptimizerOptions Verifying() {
+  OptimizerOptions options;
+  options.verify_plans = true;
+  return options;
+}
+
 TEST(ScenarioTest, FlightRoutesWithCosts) {
-  LdlSystem sys;
+  LdlSystem sys(Verifying());
   ASSERT_TRUE(sys.LoadProgram(R"(
     flight(sfo, lax, 99).
     flight(lax, jfk, 300).
@@ -66,7 +75,7 @@ TEST(ScenarioTest, FlightRoutesWithCosts) {
 TEST(ScenarioTest, RouteAccumulationTerminatesViaGuard) {
   // Cyclic flights with an unguarded cost accumulator would diverge; the
   // C < 500 guard inside the recursion bounds it.
-  LdlSystem sys;
+  LdlSystem sys(Verifying());
   ASSERT_TRUE(sys.LoadProgram(R"(
     hop(a, b). hop(b, c). hop(c, a).
     walk(X, Y, 1) <- hop(X, Y).
@@ -84,7 +93,7 @@ TEST(ScenarioTest, RouteAccumulationTerminatesViaGuard) {
 }
 
 TEST(ScenarioTest, GenealogyWithListsAndNegation) {
-  LdlSystem sys;
+  LdlSystem sys(Verifying());
   ASSERT_TRUE(sys.LoadProgram(R"(
     par(bart, homer). par(homer, abe). par(abe, orville).
 
@@ -117,7 +126,7 @@ TEST(ScenarioTest, GenealogyWithListsAndNegation) {
 }
 
 TEST(ScenarioTest, ThreeStrataProgram) {
-  LdlSystem sys;
+  LdlSystem sys(Verifying());
   ASSERT_TRUE(sys.LoadProgram(R"(
     edge(1, 2). edge(2, 3). edge(4, 5).
     node(X) <- edge(X, Y).
@@ -138,7 +147,7 @@ TEST(ScenarioTest, ThreeStrataProgram) {
 }
 
 TEST(ScenarioTest, BillOfMaterialsCostRollup) {
-  LdlSystem sys;
+  LdlSystem sys(Verifying());
   ASSERT_TRUE(sys.LoadProgram(R"(
     assembly(bike, wheel, 2).
     assembly(bike, frame, 1).
@@ -161,7 +170,7 @@ TEST(ScenarioTest, BillOfMaterialsCostRollup) {
 }
 
 TEST(ScenarioTest, SameGenerationCousins) {
-  LdlSystem sys;
+  LdlSystem sys(Verifying());
   ASSERT_TRUE(sys.LoadProgram(R"(
     sg(X, Y) <- flat(X, Y).
     sg(X, Y) <- up(X, X1), sg(X1, Y1), dn(Y1, Y).
@@ -186,7 +195,7 @@ TEST(ScenarioTest, SameGenerationCousins) {
 }
 
 TEST(ScenarioTest, QueryAfterIncrementalLoad) {
-  LdlSystem sys;
+  LdlSystem sys(Verifying());
   ASSERT_TRUE(sys.LoadProgram("anc(X, Y) <- par(X, Y).").ok());
   ASSERT_TRUE(sys.AddClause("anc(X, Y) <- par(X, Z), anc(Z, Y).").ok());
   ASSERT_TRUE(sys.AddClause("par(a, b).").ok());
@@ -202,7 +211,7 @@ TEST(ScenarioTest, QueryAfterIncrementalLoad) {
 }
 
 TEST(ScenarioTest, StringAndRealValues) {
-  LdlSystem sys;
+  LdlSystem sys(Verifying());
   ASSERT_TRUE(sys.LoadProgram(R"(
     product("anvil", 49.99).
     product("rocket skates", 999.5).

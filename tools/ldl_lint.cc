@@ -1,0 +1,145 @@
+// ldl_lint — static analysis for LDL programs.
+//
+// Usage: ldl_lint [options] file.ldl [file.ldl ...]
+//        ldl_lint [options] -          (read one program from stdin)
+//
+//   --werror     treat warnings as errors (nonzero exit)
+//   --no-warn    suppress warnings entirely
+//   --no-verify  skip optimizing + plan-verifying the embedded query forms
+//
+// For each file: parse (parse failures report as error L000), run every
+// ProgramLinter check, then — unless --no-verify — optimize each embedded
+// query form with verify_plans on, so the processing tree of every query is
+// checked against the §4/§5 invariants. Unsafe queries report as error S001.
+//
+// Exit status: 0 clean (warnings allowed unless --werror), 1 findings,
+// 2 usage error.
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostic.h"
+#include "analysis/linter.h"
+#include "ast/parser.h"
+#include "ldl/ldl.h"
+
+namespace {
+
+struct CliOptions {
+  bool werror = false;
+  bool warnings = true;
+  bool verify_queries = true;
+  std::vector<std::string> files;
+};
+
+int Usage() {
+  std::cerr << "usage: ldl_lint [--werror] [--no-warn] [--no-verify] "
+               "file.ldl... | -\n";
+  return 2;
+}
+
+bool ReadInput(const std::string& name, std::string* out) {
+  if (name == "-") {
+    std::ostringstream buffer;
+    buffer << std::cin.rdbuf();
+    *out = buffer.str();
+    return true;
+  }
+  std::ifstream in(name);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+void Print(const std::string& file, const ldl::DiagnosticSink& sink,
+           bool warnings) {
+  for (const ldl::Diagnostic& d : sink.diagnostics()) {
+    if (!warnings && d.severity == ldl::Severity::kWarning) continue;
+    std::cout << file << ": " << d.ToString() << "\n";
+  }
+}
+
+/// Optimizes every query form embedded in the program with plan
+/// verification on; optimizer/verifier failures and unsafe queries become
+/// diagnostics. Base-relation queries have no plan to verify.
+void VerifyQueries(const std::string& text, ldl::DiagnosticSink* sink) {
+  ldl::OptimizerOptions options;
+  options.verify_plans = true;
+  ldl::LdlSystem sys(options);
+  ldl::Status load = sys.LoadProgram(text);
+  if (!load.ok()) return;  // parse/validate problems already reported
+  for (const ldl::QueryForm& query : sys.pending_queries()) {
+    if (!sys.program().IsDerived(query.goal.predicate())) continue;
+    auto plan = sys.Plan(query.goal);
+    if (!plan.ok()) {
+      sink->Error("V000",
+                  plan.status().ToString(),
+                  ldl::SourceLocation::For("query: " + query.ToString()));
+    } else if (!plan->safe) {
+      sink->Error("S001",
+                  "query has no safe execution: " + plan->unsafe_reason,
+                  ldl::SourceLocation::For("query: " + query.ToString()));
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions cli;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--werror") {
+      cli.werror = true;
+    } else if (arg == "--no-warn") {
+      cli.warnings = false;
+    } else if (arg == "--no-verify") {
+      cli.verify_queries = false;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage();
+      return 0;
+    } else if (arg.size() > 1 && arg[0] == '-') {
+      std::cerr << "ldl_lint: unknown option " << arg << "\n";
+      return Usage();
+    } else {
+      cli.files.push_back(arg);
+    }
+  }
+  if (cli.files.empty()) return Usage();
+
+  size_t total_errors = 0;
+  size_t total_warnings = 0;
+  for (const std::string& file : cli.files) {
+    std::string text;
+    if (!ReadInput(file, &text)) {
+      std::cout << file << ": error L000: cannot read file\n";
+      total_errors++;
+      continue;
+    }
+    ldl::DiagnosticSink sink;
+    auto parsed = ldl::ParseProgram(text);
+    if (!parsed.ok()) {
+      sink.Error("L000", parsed.status().ToString());
+    } else {
+      ldl::ProgramLinter(*parsed).Lint(&sink);
+      if (cli.verify_queries && !sink.HasErrors()) {
+        VerifyQueries(text, &sink);
+      }
+    }
+    Print(file, sink, cli.warnings);
+    total_errors += sink.error_count();
+    total_warnings += sink.warning_count();
+  }
+
+  if (total_errors + (cli.werror ? total_warnings : 0) > 0) {
+    std::cout << total_errors << " error(s), " << total_warnings
+              << " warning(s)\n";
+    return 1;
+  }
+  return 0;
+}
