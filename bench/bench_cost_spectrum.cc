@@ -193,5 +193,6 @@ int main(int argc, char** argv) {
   ldl::PrintExperiment();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  ldl::bench::FlushJson("cost_spectrum");
   return 0;
 }

@@ -111,5 +111,6 @@ int main(int argc, char** argv) {
   ldl::PrintExperiment();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  ldl::bench::FlushJson("kbz_quality");
   return 0;
 }

@@ -156,5 +156,6 @@ int main(int argc, char** argv) {
   ldl::PrintExperiment();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  ldl::bench::FlushJson("opt_recursive");
   return 0;
 }

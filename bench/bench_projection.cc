@@ -109,5 +109,6 @@ int main(int argc, char** argv) {
   ldl::PrintExperiment();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  ldl::bench::FlushJson("projection");
   return 0;
 }

@@ -182,5 +182,6 @@ int main(int argc, char** argv) {
   ldl::PrintExperiment();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  ldl::bench::FlushJson("recursion_methods");
   return 0;
 }

@@ -3,14 +3,105 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <string>
 #include <vector>
+
+#include "base/strings.h"
 
 namespace ldl {
 namespace bench {
 
+/// Process-wide collector mirroring every Banner section and printed Table
+/// into machine-readable JSON. Each bench binary calls FlushJson(name) at
+/// exit to write BENCH_<name>.json next to the human tables, so runs can be
+/// diffed or plotted without scraping stdout.
+class JsonSink {
+ public:
+  static JsonSink& Global() {
+    static JsonSink sink;
+    return sink;
+  }
+
+  void BeginSection(const std::string& id, const std::string& title) {
+    sections_.push_back({id, title, {}});
+  }
+
+  void AddTable(const std::vector<std::string>& headers,
+                const std::vector<std::vector<std::string>>& rows) {
+    if (sections_.empty()) BeginSection("", "");
+    sections_.back().tables.push_back({headers, rows});
+  }
+
+  /// Writes BENCH_<name>.json into $LDL_BENCH_JSON_DIR (default: the
+  /// current directory). Set LDL_BENCH_JSON=0 to disable.
+  void Flush(const std::string& name) const {
+    const char* toggle = std::getenv("LDL_BENCH_JSON");
+    if (toggle != nullptr && std::string(toggle) == "0") return;
+    std::string dir;
+    if (const char* env = std::getenv("LDL_BENCH_JSON_DIR")) dir = env;
+    std::string path =
+        (dir.empty() ? "" : dir + "/") + "BENCH_" + name + ".json";
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+      return;
+    }
+    out << "{\"bench\":\"" << JsonEscape(name) << "\",\"experiments\":[";
+    for (size_t s = 0; s < sections_.size(); ++s) {
+      if (s) out << ",";
+      const Section& section = sections_[s];
+      out << "{\"id\":\"" << JsonEscape(section.id) << "\",\"title\":\""
+          << JsonEscape(section.title) << "\",\"tables\":[";
+      for (size_t t = 0; t < section.tables.size(); ++t) {
+        if (t) out << ",";
+        WriteTable(out, section.tables[t]);
+      }
+      out << "]}";
+    }
+    out << "]}\n";
+    std::printf("wrote %s\n", path.c_str());
+  }
+
+ private:
+  struct TableData {
+    std::vector<std::string> headers;
+    std::vector<std::vector<std::string>> rows;
+  };
+  struct Section {
+    std::string id;
+    std::string title;
+    std::vector<TableData> tables;
+  };
+
+  static void WriteStringArray(std::ofstream& out,
+                               const std::vector<std::string>& items) {
+    out << "[";
+    for (size_t i = 0; i < items.size(); ++i) {
+      if (i) out << ",";
+      out << "\"" << JsonEscape(items[i]) << "\"";
+    }
+    out << "]";
+  }
+
+  static void WriteTable(std::ofstream& out, const TableData& table) {
+    out << "{\"headers\":";
+    WriteStringArray(out, table.headers);
+    out << ",\"rows\":[";
+    for (size_t r = 0; r < table.rows.size(); ++r) {
+      if (r) out << ",";
+      WriteStringArray(out, table.rows[r]);
+    }
+    out << "]}";
+  }
+
+  std::vector<Section> sections_;
+};
+
 /// Fixed-width console table, used to print the paper-style result tables
-/// that each bench binary regenerates.
+/// that each bench binary regenerates. Print() also registers the table
+/// with the JsonSink so FlushJson exports it.
 class Table {
  public:
   explicit Table(std::vector<std::string> headers)
@@ -19,6 +110,7 @@ class Table {
   void AddRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
 
   void Print() const {
+    JsonSink::Global().AddTable(headers_, rows_);
     std::vector<size_t> widths(headers_.size());
     for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
     for (const auto& row : rows_) {
@@ -81,7 +173,12 @@ inline void Banner(const char* id, const char* title) {
   std::printf("==============================================================\n");
   std::printf("%s — %s\n", id, title);
   std::printf("==============================================================\n");
+  JsonSink::Global().BeginSection(id, title);
 }
+
+/// Writes the collected sections/tables as BENCH_<name>.json (see
+/// JsonSink::Flush). Call once at the end of main.
+inline void FlushJson(const char* name) { JsonSink::Global().Flush(name); }
 
 }  // namespace bench
 }  // namespace ldl

@@ -1,6 +1,7 @@
 #include "base/strings.h"
 
 #include <cctype>
+#include <cstdio>
 
 namespace ldl {
 
@@ -15,6 +16,39 @@ std::vector<std::string> StrSplit(std::string_view text, char sep) {
     }
     out.emplace_back(text.substr(start, pos - start));
     start = pos + 1;
+  }
+  return out;
+}
+
+std::string JsonEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
   }
   return out;
 }

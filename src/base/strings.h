@@ -17,6 +17,12 @@ std::string StrCat(const Args&... args) {
   return os.str();
 }
 
+/// Appends the string representations of all arguments to `*dest`.
+template <typename... Args>
+void StrAppend(std::string* dest, const Args&... args) {
+  dest->append(StrCat(args...));
+}
+
 /// Joins `parts` with `sep`, applying `fmt` to each element.
 template <typename Container, typename Formatter>
 std::string StrJoin(const Container& parts, std::string_view sep,
@@ -39,6 +45,10 @@ std::string StrJoin(const Container& parts, std::string_view sep) {
 
 /// Splits `text` on `sep`, keeping empty pieces.
 std::vector<std::string> StrSplit(std::string_view text, char sep);
+
+/// Escapes `text` for inclusion inside a double-quoted JSON string
+/// (quotes, backslashes, control characters). Does not add the quotes.
+std::string JsonEscape(std::string_view text);
 
 /// Removes leading and trailing ASCII whitespace.
 std::string_view StripWhitespace(std::string_view text);

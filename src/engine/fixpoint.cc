@@ -25,6 +25,12 @@ std::string FixpointStats::ToString() const {
   return StrCat("iterations=", iterations, " ", counters.ToString());
 }
 
+void FixpointStats::ExportTo(MetricsRegistry* metrics) const {
+  if (metrics == nullptr) return;
+  metrics->counter("engine.fixpoint.iterations")->Increment(iterations);
+  counters.ExportTo(metrics);
+}
+
 namespace {
 
 /// Shared machinery for evaluating one program bottom-up, one strongly
@@ -80,6 +86,8 @@ class ProgramEvaluator {
 
   // Non-recursive predicate: fire each of its rules once.
   Status EvaluateOnce(const PredicateId& pred) {
+    Span span = options_.trace.StartSpan("eval-once", "engine");
+    if (span.active()) span.AddArg("predicate", pred.ToString());
     Relation* out = scratch_->GetOrCreate(pred);
     RelationResolver resolve = MakeResolver();
     for (size_t rule_index : program_.RulesFor(pred)) {
@@ -96,6 +104,11 @@ class ProgramEvaluator {
                              const DependencyGraph& graph) {
     const RecursiveClique& clique =
         graph.cliques()[graph.CliqueIndex(members[0])];
+    Span span = options_.trace.StartSpan("fixpoint", "engine");
+    if (span.active()) {
+      span.AddArg("clique", members[0].ToString());
+      span.AddArg("method", "naive");
+    }
     RelationResolver resolve = MakeResolver();
     std::vector<size_t> all_rules = clique.exit_rules;
     all_rules.insert(all_rules.end(), clique.recursive_rules.begin(),
@@ -124,8 +137,12 @@ class ProgramEvaluator {
       for (const PredicateId& pred : members) {
         added += scratch_->GetOrCreate(pred)->InsertAll(temp.at(pred));
       }
+      options_.trace.Count("engine.fixpoint.rounds");
+      options_.trace.Observe("engine.fixpoint.delta_tuples",
+                             static_cast<double>(added));
       if (added == 0) break;
     }
+    if (span.active()) span.AddArg("rounds", std::to_string(round));
     return Status::OK();
   }
 
@@ -136,6 +153,11 @@ class ProgramEvaluator {
                                  const DependencyGraph& graph) {
     const RecursiveClique& clique =
         graph.cliques()[graph.CliqueIndex(members[0])];
+    Span span = options_.trace.StartSpan("fixpoint", "engine");
+    if (span.active()) {
+      span.AddArg("clique", members[0].ToString());
+      span.AddArg("method", "seminaive");
+    }
 
     auto in_clique = [&clique](const Literal& lit) {
       return !lit.IsBuiltin() && !lit.negated() &&
@@ -205,7 +227,15 @@ class ProgramEvaluator {
         }
       }
       delta = std::move(new_delta);
+      if (options_.trace.metrics != nullptr) {
+        size_t added = 0;
+        for (const PredicateId& pred : members) added += delta.at(pred).size();
+        options_.trace.Count("engine.fixpoint.rounds");
+        options_.trace.Observe("engine.fixpoint.delta_tuples",
+                               static_cast<double>(added));
+      }
     }
+    if (span.active()) span.AddArg("rounds", std::to_string(round));
     return Status::OK();
   }
 
@@ -232,6 +262,7 @@ Status EvaluateProgram(const Program& program, RecursionMethod method,
   FixpointStats local;
   ProgramEvaluator evaluator(program, method, base, scratch, &local, options);
   Status st = evaluator.Run();
+  local.ExportTo(options.trace.metrics);
   if (stats != nullptr) {
     stats->iterations += local.iterations;
     stats->counters.Add(local.counters);

@@ -8,6 +8,7 @@
 #include "ast/program.h"
 #include "base/status.h"
 #include "engine/rule_eval.h"
+#include "obs/context.h"
 #include "storage/database.h"
 
 namespace ldl {
@@ -34,6 +35,9 @@ struct FixpointOptions {
   /// Body evaluation order per rule index (from the optimizer's chosen
   /// permutations); missing entries use textual order.
   std::unordered_map<size_t, std::vector<size_t>> rule_orders;
+  /// Observability handle: spans per clique fixpoint, per-round counters
+  /// and delta-size histograms. Inert by default.
+  TraceContext trace;
 };
 
 struct FixpointStats {
@@ -41,6 +45,10 @@ struct FixpointStats {
   EvalCounters counters;
 
   std::string ToString() const;
+
+  /// Adds the stats into the registry (engine.fixpoint.iterations plus the
+  /// EvalCounters engine.* names). No-op on nullptr.
+  void ExportTo(MetricsRegistry* metrics) const;
 };
 
 /// Evaluates every derived predicate of `program` bottom-up into `scratch`.

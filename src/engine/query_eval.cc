@@ -109,9 +109,12 @@ Result<QueryResult> EvaluateMagic(const Program& program, Database* base,
   // Adornment itself only visits rules reachable from the goal, and
   // options.sips is keyed by original rule indices — adorn the original
   // program directly.
+  Span rewrite_span =
+      options.fixpoint.trace.StartSpan("magic-rewrite", "engine");
   LDL_ASSIGN_OR_RETURN(AdornedProgram adorned,
                        AdornProgramForQuery(program, goal, options.sips));
   LDL_ASSIGN_OR_RETURN(MagicProgram magic, MagicRewrite(adorned));
+  rewrite_span.Finish();
 
   // Install the seed as a bodiless rule so its predicate counts as derived
   // (EvaluateProgram reads non-derived predicates from `base`).
@@ -132,7 +135,10 @@ Result<QueryResult> EvaluateMagic(const Program& program, Database* base,
 Result<QueryResult> EvaluateCounting(const Program& program, Database* base,
                                      const Literal& goal,
                                      const QueryEvalOptions& options) {
+  Span rewrite_span =
+      options.fixpoint.trace.StartSpan("counting-rewrite", "engine");
   auto rewritten = CountingRewrite(program, goal);
+  rewrite_span.Finish();
   if (!rewritten.ok()) {
     if (options.counting_fallback &&
         rewritten.status().code() == StatusCode::kUnsupported) {
@@ -193,6 +199,15 @@ Result<QueryResult> EvaluateCounting(const Program& program, Database* base,
 Result<QueryResult> EvaluateQuery(const Program& program, Database* base,
                                   const Literal& goal, RecursionMethod method,
                                   const QueryEvalOptions& options) {
+  Span span = options.fixpoint.trace.StartSpan("query", "engine");
+  if (span.active()) {
+    span.AddArg("goal", goal.ToString());
+    span.AddArg("method", RecursionMethodToString(method));
+  }
+  if (options.fixpoint.trace.metrics != nullptr) {
+    options.fixpoint.trace.Count(
+        StrCat("engine.method.", RecursionMethodToString(method)));
+  }
   if (!program.IsDerived(goal.predicate())) {
     // A pure base-relation query needs no rules.
     QueryResult result;

@@ -20,6 +20,14 @@ std::string EvalCounters::ToString() const {
                 " inserts=", inserts, " firings=", rule_firings);
 }
 
+void EvalCounters::ExportTo(MetricsRegistry* metrics) const {
+  if (metrics == nullptr) return;
+  metrics->counter("engine.tuples_examined")->Increment(tuples_examined);
+  metrics->counter("engine.derivations")->Increment(derivations);
+  metrics->counter("engine.inserts")->Increment(inserts);
+  metrics->counter("engine.rule_firings")->Increment(rule_firings);
+}
+
 namespace {
 
 /// Backtracking join over the rule body. Holds evaluation state so the

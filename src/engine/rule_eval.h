@@ -7,6 +7,7 @@
 
 #include "ast/rule.h"
 #include "base/status.h"
+#include "obs/metrics.h"
 #include "storage/database.h"
 
 namespace ldl {
@@ -22,6 +23,11 @@ struct EvalCounters {
 
   void Add(const EvalCounters& other);
   std::string ToString() const;
+
+  /// Adds the counters into the registry under the engine.* names
+  /// (engine.tuples_examined, engine.derivations, engine.inserts,
+  /// engine.rule_firings). No-op on nullptr.
+  void ExportTo(MetricsRegistry* metrics) const;
 };
 
 /// Maps a body literal occurrence to the relation to read. Lets semi-naive

@@ -2,6 +2,8 @@
 
 #include "base/strings.h"
 #include "optimizer/project_pushdown.h"
+#include "plan/explain.h"
+#include "plan/interpreter.h"
 
 namespace ldl {
 
@@ -94,6 +96,7 @@ Result<QueryAnswer> LdlSystem::Query(const Literal& goal) {
   }
 
   QueryEvalOptions eval_options;
+  eval_options.fixpoint.trace = options_.trace;
   eval_options.sips = plan.sips;
   eval_options.fixpoint.rule_orders.insert(plan.rule_orders.begin(),
                                            plan.rule_orders.end());
@@ -127,6 +130,29 @@ Result<std::string> LdlSystem::ExplainTree(std::string_view goal_text) {
   Optimizer optimizer(working, stats_, options_);
   LDL_RETURN_NOT_OK(optimizer.AnnotateTree(tree.get()));
   return tree->ToString();
+}
+
+Result<std::string> LdlSystem::ExplainAnalyze(std::string_view goal_text) {
+  LDL_ASSIGN_OR_RETURN(Literal goal, ParseLiteral(goal_text));
+  if (stats_dirty_) RefreshStatistics();
+  LDL_ASSIGN_OR_RETURN(Program working, EffectiveProgram(goal));
+  LDL_ASSIGN_OR_RETURN(std::unique_ptr<PlanNode> tree,
+                       BuildProcessingTree(working, goal));
+  Optimizer optimizer(working, stats_, options_);
+  LDL_RETURN_NOT_OK(optimizer.AnnotateTree(tree.get()));
+
+  TreeInterpreter interpreter(working, &db_);
+  interpreter.set_trace(options_.trace);
+  LDL_ASSIGN_OR_RETURN(Relation answers,
+                       interpreter.Execute(*tree, tree->goal));
+
+  std::string out = RenderExplain(*tree, &interpreter.profile());
+  const EvalCounters& c = interpreter.counters();
+  StrAppend(&out, "\nAnswers: ", answers.size(), " rows\n");
+  StrAppend(&out, "Totals: ", c.tuples_examined, " tuples examined, ",
+            c.derivations, " derivations, ", interpreter.memo_hits(),
+            " memo hits\n");
+  return out;
 }
 
 SafetyReport LdlSystem::CheckSafety(std::string_view goal_text) {

@@ -80,6 +80,13 @@ class LdlSystem {
   /// cost/cardinality estimates.
   Result<std::string> ExplainTree(std::string_view goal_text);
 
+  /// EXPLAIN ANALYZE: annotates the processing tree with the optimizer's
+  /// estimates, executes it through the TreeInterpreter, and renders both
+  /// side by side — estimated cost/rows next to measured rows, tuples
+  /// examined and wall time per node (plan/explain.h). Spans and metrics
+  /// flow into the TraceContext set in OptimizerOptions, if any.
+  Result<std::string> ExplainAnalyze(std::string_view goal_text);
+
   /// Safety analysis without optimization.
   SafetyReport CheckSafety(std::string_view goal_text);
 

@@ -1,0 +1,68 @@
+#ifndef LDLOPT_OBS_CONTEXT_H_
+#define LDLOPT_OBS_CONTEXT_H_
+
+#include <cstddef>
+#include <string_view>
+#include <unordered_map>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace ldl {
+
+/// The observability handle threaded through the optimizer and the engine.
+/// Both pointers are optional and non-owning; a default-constructed context
+/// is inert and costs one branch per instrumentation site, so it can be
+/// carried through hot paths unconditionally.
+struct TraceContext {
+  Tracer* tracer = nullptr;
+  MetricsRegistry* metrics = nullptr;
+
+  bool active() const { return tracer != nullptr || metrics != nullptr; }
+
+  /// Starts a span against the tracer (inert when absent/disabled).
+  Span StartSpan(std::string_view name,
+                 std::string_view category = "ldl") const {
+    return Span(tracer, name, category);
+  }
+
+  /// Bumps a named counter (no-op without a registry). Coarse-grained
+  /// sites only — hot loops should accumulate locally and export once.
+  void Count(std::string_view name, uint64_t n = 1) const {
+    if (metrics != nullptr) metrics->counter(name)->Increment(n);
+  }
+
+  /// Records a sample into a named histogram (no-op without a registry).
+  void Observe(std::string_view name, double value) const {
+    if (metrics != nullptr) metrics->histogram(name)->Record(value);
+  }
+
+  /// Sets a named gauge (no-op without a registry).
+  void Set(std::string_view name, double value) const {
+    if (metrics != nullptr) metrics->gauge(name)->Set(value);
+  }
+};
+
+/// Measured per-operator facts from one execution, keyed by node identity
+/// (the PlanNode address for processing-tree execution). This is what
+/// EXPLAIN ANALYZE prints next to the optimizer's estimates.
+struct NodeActuals {
+  size_t executions = 0;       ///< times the node was actually evaluated
+  size_t memo_hits = 0;        ///< times a prior result was reused (tabling)
+  size_t out_rows = 0;         ///< tuples produced by the last evaluation
+  size_t tuples_examined = 0;  ///< work done inside the node (inclusive)
+  double wall_ms = 0;          ///< wall time across evaluations (inclusive)
+};
+
+struct ExecutionProfile {
+  std::unordered_map<const void*, NodeActuals> nodes;
+
+  const NodeActuals* Find(const void* node) const {
+    auto it = nodes.find(node);
+    return it == nodes.end() ? nullptr : &it->second;
+  }
+};
+
+}  // namespace ldl
+
+#endif  // LDLOPT_OBS_CONTEXT_H_

@@ -1,0 +1,113 @@
+#ifndef LDLOPT_OBS_METRICS_H_
+#define LDLOPT_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+namespace ldl {
+
+/// Monotonically increasing count (tuples examined, memo hits, rounds...).
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-written value (current delta size, chosen fanout...).
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0};
+};
+
+/// Streaming summary of an observed distribution: count/sum/min/max plus
+/// power-of-two buckets, enough to see the shape of per-round delta sizes
+/// or per-call optimization times without storing samples.
+class Histogram {
+ public:
+  static constexpr size_t kBuckets = 32;  ///< bucket i holds v in [2^i-1, 2^i)
+
+  void Record(double v);
+
+  uint64_t count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return count_;
+  }
+  double sum() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return sum_;
+  }
+  double min() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return count_ == 0 ? 0 : min_;
+  }
+  double max() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return count_ == 0 ? 0 : max_;
+  }
+  double mean() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return count_ == 0 ? 0 : sum_ / count_;
+  }
+  uint64_t bucket(size_t i) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return buckets_[i];
+  }
+
+ private:
+  mutable std::mutex mu_;
+  uint64_t count_ = 0;
+  double sum_ = 0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+  uint64_t buckets_[kBuckets] = {};
+};
+
+/// Named registry of counters/gauges/histograms. Lookup takes a lock;
+/// instruments themselves are lock-free (counters/gauges) so hot paths can
+/// cache the returned pointer, which stays valid for the registry's
+/// lifetime.
+class MetricsRegistry {
+ public:
+  Counter* counter(std::string_view name);
+  Gauge* gauge(std::string_view name);
+  Histogram* histogram(std::string_view name);
+
+  /// Value of a counter, 0 when absent (test/report convenience).
+  uint64_t counter_value(std::string_view name) const;
+  /// Value of a gauge, 0 when absent.
+  double gauge_value(std::string_view name) const;
+  /// The histogram, or nullptr when absent.
+  const Histogram* find_histogram(std::string_view name) const;
+
+  /// Flat JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}.
+  void WriteJson(std::ostream& os) const;
+
+  /// Human-readable dump (one metric per line, sorted by name).
+  std::string ToString() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace ldl
+
+#endif  // LDLOPT_OBS_METRICS_H_

@@ -1,0 +1,37 @@
+#include "obs/trace.h"
+
+#include "base/strings.h"
+
+namespace ldl {
+
+uint32_t Span::CurrentThreadId() {
+  static std::atomic<uint32_t> next{1};
+  thread_local uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+void Tracer::WriteChromeTrace(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& e : events_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n{\"name\":\"" << JsonEscape(e.name) << "\",\"cat\":\""
+       << JsonEscape(e.category) << "\",\"ph\":\"X\",\"ts\":" << e.start_us
+       << ",\"dur\":" << e.duration_us << ",\"pid\":1,\"tid\":" << e.thread_id;
+    if (!e.args.empty()) {
+      os << ",\"args\":{";
+      for (size_t i = 0; i < e.args.size(); ++i) {
+        if (i) os << ",";
+        os << "\"" << JsonEscape(e.args[i].first) << "\":\""
+           << JsonEscape(e.args[i].second) << "\"";
+      }
+      os << "}";
+    }
+    os << "}";
+  }
+  os << "\n]}\n";
+}
+
+}  // namespace ldl

@@ -1,6 +1,7 @@
 #include "optimizer/optimizer.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <set>
 #include <sstream>
@@ -11,6 +12,17 @@
 #include "safety/safety.h"
 
 namespace ldl {
+
+void PlanSearchStats::ExportTo(MetricsRegistry* metrics) const {
+  if (metrics == nullptr) return;
+  metrics->counter("optimizer.cost_evaluations")->Increment(cost_evaluations);
+  metrics->counter("optimizer.subplans_optimized")
+      ->Increment(subplans_optimized);
+  metrics->counter("optimizer.memo_hits")->Increment(memo_hits);
+  metrics->counter("optimizer.memo_misses")->Increment(memo_misses);
+  metrics->counter("optimizer.prunes_unsafe")->Increment(prunes_unsafe);
+  metrics->histogram("optimizer.search_wall_ms")->Record(search_wall_ms);
+}
 
 namespace {
 
@@ -37,6 +49,23 @@ Optimizer::Optimizer(const Program& program, const Statistics& stats,
       graph_(DependencyGraph::Build(program)),
       model_(options_.cost),
       strategy_(MakeStrategy(options_.strategy, options_.strategy_options)) {}
+
+OrderResult Optimizer::TimedFindOrder(const std::vector<ConjunctItem>& items,
+                                      const BoundVars& initial) {
+  if (!options_.trace.active()) {
+    return strategy_->FindOrder(items, initial, model_);
+  }
+  // Per-strategy wall time: one histogram per strategy name, so mixed-
+  // strategy experiments can compare effort directly.
+  auto start = std::chrono::steady_clock::now();
+  OrderResult result = strategy_->FindOrder(items, initial, model_);
+  double ms = std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - start)
+                  .count();
+  options_.trace.Observe(StrCat("optimizer.find_order_ms.", strategy_->name()),
+                         ms);
+  return result;
+}
 
 ConjunctItem Optimizer::MakeItem(const Literal& lit, Subplan* parent) {
   if (lit.IsBuiltin()) {
@@ -102,6 +131,7 @@ Optimizer::Subplan Optimizer::OptimizePredicate(const AdornedPredicate& ap) {
       search_stats_.memo_hits++;
       return it->second;
     }
+    search_stats_.memo_misses++;
   }
   search_stats_.subplans_optimized++;
 
@@ -118,6 +148,7 @@ Optimizer::Subplan Optimizer::OptimizePredicate(const AdornedPredicate& ap) {
       Subplan rule_plan = OptimizeRule(rule_index, ap.adornment);
       if (!rule_plan.est.safe) {
         result.est = PlanEstimate::Unsafe();
+        search_stats_.prunes_unsafe++;
         result.note = rule_plan.note;
         break;
       }
@@ -154,11 +185,12 @@ Optimizer::Subplan Optimizer::OptimizeRule(size_t rule_index,
   BoundVars initial;
   BindHeadVariables(rule.head(), head_adn, &initial);
 
-  OrderResult best = strategy_->FindOrder(items, initial, model_);
+  OrderResult best = TimedFindOrder(items, initial);
   search_stats_.cost_evaluations += best.cost_evaluations;
 
   if (!best.safe) {
     plan.est = PlanEstimate::Unsafe();
+    search_stats_.prunes_unsafe++;
     plan.note = StrCat("no safe order for rule ", rule.ToString(),
                        " under binding ", head_adn.ToString());
     return plan;
@@ -167,6 +199,7 @@ Optimizer::Subplan Optimizer::OptimizeRule(size_t rule_index,
   Status ec = CheckRuleEc(rule, best.order, head_adn);
   if (!ec.ok()) {
     plan.est = PlanEstimate::Unsafe();
+    search_stats_.prunes_unsafe++;
     plan.note = ec.message();
     return plan;
   }
@@ -216,6 +249,8 @@ Optimizer::Subplan Optimizer::OptimizeRule(size_t rule_index,
 Optimizer::Subplan Optimizer::OptimizeClique(int clique_index,
                                              const AdornedPredicate& ap) {
   const RecursiveClique& clique = graph_.cliques()[clique_index];
+  Span span = options_.trace.StartSpan("optimize-clique", "optimizer");
+  if (span.active()) span.AddArg("subquery", ap.ToString());
   Subplan plan;
 
   // Safety first: a non-well-founded clique has no finite execution under
@@ -223,6 +258,7 @@ Optimizer::Subplan Optimizer::OptimizeClique(int clique_index,
   Status wf = CheckWellFounded(program_, clique, ap.pred, ap.adornment);
   if (!wf.ok()) {
     plan.est = PlanEstimate::Unsafe();
+    search_stats_.prunes_unsafe++;
     plan.note = wf.message();
     return plan;
   }
@@ -254,7 +290,7 @@ Optimizer::Subplan Optimizer::OptimizeClique(int clique_index,
     std::vector<ConjunctItem> items;
     for (const Literal& lit : rule.body()) items.push_back(MakeItem(lit, &plan));
 
-    OrderResult free_run = strategy_->FindOrder(items, BoundVars(), model_);
+    OrderResult free_run = TimedFindOrder(items, BoundVars());
     search_stats_.cost_evaluations += free_run.cost_evaluations;
     exit_safe_ff = exit_safe_ff && free_run.safe &&
                    CheckRuleEc(rule, free_run.order, Adornment()).ok();
@@ -268,7 +304,7 @@ Optimizer::Subplan Optimizer::OptimizeClique(int clique_index,
                              ? ap.adornment
                              : Adornment::AllFree(rule.head().arity());
     BindHeadVariables(rule.head(), head_adn, &bound_init);
-    OrderResult bound_run = strategy_->FindOrder(items, bound_init, model_);
+    OrderResult bound_run = TimedFindOrder(items, bound_init);
     search_stats_.cost_evaluations += bound_run.cost_evaluations;
     exit_safe_b = exit_safe_b && bound_run.safe &&
                   CheckRuleEc(rule, bound_run.order, head_adn).ok();
@@ -337,7 +373,7 @@ Optimizer::Subplan Optimizer::OptimizeClique(int clique_index,
     for (const Term& t : rule.body()[delta_pos].args()) {
       delta_bound.BindTerm(t);
     }
-    OrderResult rec_run = strategy_->FindOrder(items, delta_bound, model_);
+    OrderResult rec_run = TimedFindOrder(items, delta_bound);
     search_stats_.cost_evaluations += rec_run.cost_evaluations;
     std::vector<size_t> full_order;
     if (rec_run.safe) {
@@ -381,8 +417,7 @@ Optimizer::Subplan Optimizer::OptimizeClique(int clique_index,
                                ? ap.adornment
                                : Adornment::AllFree(rule.head().arity());
       BindHeadVariables(rule.head(), head_adn, &head_bound);
-      OrderResult sip_run = strategy_->FindOrder(full_items, head_bound,
-                                                 model_);
+      OrderResult sip_run = TimedFindOrder(full_items, head_bound);
       search_stats_.cost_evaluations += sip_run.cost_evaluations;
       if (sip_run.safe &&
           CheckRuleEc(rule, sip_run.order, head_adn).ok()) {
@@ -414,6 +449,7 @@ Optimizer::Subplan Optimizer::OptimizeClique(int clique_index,
     // No evaluation discipline makes every clique rule effectively
     // computable: prune with infinite cost (section 8.2).
     plan.est = PlanEstimate::Unsafe();
+    search_stats_.prunes_unsafe++;
     plan.note = StrCat("no safe evaluation order for clique ",
                        clique.ToString(), " under binding ",
                        ap.adornment.ToString(), " (section 8.2 pruning)");
@@ -511,11 +547,20 @@ Optimizer::Subplan Optimizer::OptimizeClique(int clique_index,
   }
   if (best == nullptr) {
     plan.est = PlanEstimate::Unsafe();
+    search_stats_.prunes_unsafe++;
     plan.note = "no applicable recursive method";
     return plan;
   }
   plan.est = best->est;
   plan.method = best->method;
+  // PA choice per clique: which recursive method won the cost race.
+  if (options_.trace.metrics != nullptr) {
+    options_.trace.Count(StrCat("optimizer.pa_choice.",
+                                RecursionMethodToString(best->method)));
+  }
+  if (span.active()) {
+    span.AddArg("method", RecursionMethodToString(best->method));
+  }
   if (best->method == RecursionMethod::kMagic ||
       best->method == RecursionMethod::kCounting) {
     // Magic executes the SIP orders; override the seminaive ones.
@@ -555,6 +600,14 @@ Result<QueryPlan> Optimizer::Optimize(const Literal& goal) {
         StrCat("query predicate ", goal.predicate().ToString(),
                " is not defined by any rule"));
   }
+  Span span = options_.trace.StartSpan("optimize", "optimizer");
+  if (span.active()) {
+    span.AddArg("goal", goal.ToString());
+    span.AddArg("strategy", strategy_->name());
+  }
+  const PlanSearchStats before = search_stats_;
+  const auto wall_start = std::chrono::steady_clock::now();
+
   QueryPlan plan;
   plan.goal = goal;
   plan.adornment = Adornment::FromGoal(goal);
@@ -580,7 +633,27 @@ Result<QueryPlan> Optimizer::Optimize(const Literal& goal) {
                           ? RecursionMethod::kMagic
                           : RecursionMethod::kSemiNaive;
   }
+  search_stats_.search_wall_ms +=
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - wall_start)
+          .count();
   plan.search_stats = search_stats_;
+
+  // One Optimizer can serve several Optimize calls; export only this
+  // call's share so repeated queries don't double-count in the registry.
+  if (options_.trace.metrics != nullptr) {
+    PlanSearchStats delta;
+    delta.cost_evaluations =
+        search_stats_.cost_evaluations - before.cost_evaluations;
+    delta.subplans_optimized =
+        search_stats_.subplans_optimized - before.subplans_optimized;
+    delta.memo_hits = search_stats_.memo_hits - before.memo_hits;
+    delta.memo_misses = search_stats_.memo_misses - before.memo_misses;
+    delta.prunes_unsafe = search_stats_.prunes_unsafe - before.prunes_unsafe;
+    delta.search_wall_ms =
+        search_stats_.search_wall_ms - before.search_wall_ms;
+    delta.ExportTo(options_.trace.metrics);
+  }
 
   // verify_plans: materialize the decisions into a processing tree and
   // check the §4/§5 invariants held through the search. Unsafe plans carry
@@ -623,7 +696,8 @@ std::string QueryPlan::Explain(const Program& program) const {
   }
   os << "SEARCH  " << search_stats.cost_evaluations << " cost evaluations, "
      << search_stats.subplans_optimized << " subplans, "
-     << search_stats.memo_hits << " memo hits\n";
+     << search_stats.memo_hits << " memo hits, "
+     << search_stats.prunes_unsafe << " unsafe prunes\n";
   return os.str();
 }
 

@@ -13,6 +13,7 @@
 #include "engine/fixpoint.h"
 #include "graph/adornment.h"
 #include "graph/dependency_graph.h"
+#include "obs/context.h"
 #include "optimizer/cost_model.h"
 #include "optimizer/join_order.h"
 #include "plan/processing_tree.h"
@@ -54,6 +55,12 @@ struct OptimizerOptions {
   /// kInternal error instead of a silently wrong plan. On in tests and
   /// debug tooling; off by default to keep production optimization lean.
   bool verify_plans = false;
+
+  /// Observability handle (src/obs/): spans around Optimize/clique search
+  /// and per-strategy timings, metrics for search effort. Inert by default;
+  /// LdlSystem forwards the same context to the engine so estimates and
+  /// measurements land in one registry.
+  TraceContext trace;
 };
 
 /// Search-effort accounting, the currency of experiments E2/E3/E6.
@@ -61,6 +68,13 @@ struct PlanSearchStats {
   size_t cost_evaluations = 0;  ///< sequence/step costings performed
   size_t subplans_optimized = 0;  ///< (predicate, binding) optimizations run
   size_t memo_hits = 0;
+  size_t memo_misses = 0;   ///< memo lookups that had to optimize fresh
+  size_t prunes_unsafe = 0;  ///< subplans discarded at infinite cost (§8.2)
+  double search_wall_ms = 0;  ///< wall time spent inside Optimize calls
+
+  /// Adds the stats into the registry under the optimizer.* names.
+  /// No-op on nullptr.
+  void ExportTo(MetricsRegistry* metrics) const;
 };
 
 /// The optimizer's output: estimated cost plus every decision needed to
@@ -128,6 +142,10 @@ class Optimizer {
 
  private:
   Status AnnotateNode(PlanNode* node, const Adornment& binding);
+  /// strategy_->FindOrder with per-call timing into the trace context
+  /// (clock reads only when tracing/metrics are attached).
+  OrderResult TimedFindOrder(const std::vector<ConjunctItem>& items,
+                             const BoundVars& initial);
   /// What the memo stores per (predicate, adornment): Figure 7-1's
   /// "cost, cardinality, graph, etc., indexed by the binding".
   struct Subplan {

@@ -1,0 +1,129 @@
+#include "plan/explain.h"
+
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+#include "base/strings.h"
+
+namespace ldl {
+namespace {
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+std::string FormatMillis(double ms) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", ms);
+  return buf;
+}
+
+/// The tree-structure label of one node: everything EXPLAIN shows apart
+/// from the numeric columns. Matches PlanNode::ToString's vocabulary so the
+/// two views read the same.
+std::string NodeLabel(const PlanNode& node) {
+  std::string label = PlanNodeKindToString(node.kind);
+  label += node.materialized ? " [mat]" : " [pipe]";
+  if (!node.method.empty()) StrAppend(&label, " ", node.method);
+  StrAppend(&label, " ", node.goal.ToString());
+  if (node.binding.size() > 0) StrAppend(&label, " :", node.binding.ToString());
+  if (node.kind == PlanNodeKind::kAnd && node.rule_index != SIZE_MAX) {
+    StrAppend(&label, " (rule ", node.rule_index, ")");
+  }
+  if (node.kind == PlanNodeKind::kCc) {
+    label += " {";
+    for (size_t i = 0; i < node.clique_predicates.size(); ++i) {
+      if (i) label += ", ";
+      label += node.clique_predicates[i].ToString();
+    }
+    label += "}";
+  }
+  return label;
+}
+
+struct Row {
+  std::string label;
+  std::vector<std::string> cells;
+};
+
+void CollectRows(const PlanNode& node, size_t depth,
+                 const ExecutionProfile* profile, std::vector<Row>* rows) {
+  Row row;
+  row.label = std::string(depth * 2, ' ') + NodeLabel(node);
+  row.cells.push_back(FormatDouble(node.est_cost));
+  row.cells.push_back(FormatDouble(node.est_cardinality));
+  if (profile != nullptr) {
+    const NodeActuals* a = profile->Find(&node);
+    if (a == nullptr || a->executions == 0) {
+      // Never executed directly: builtins are folded into their AND parent;
+      // a pure memo-hit node keeps its hit count visible.
+      const char* dash = "-";
+      row.cells.push_back(dash);
+      row.cells.push_back(dash);
+      row.cells.push_back(dash);
+      row.cells.push_back(dash);
+      row.cells.push_back(a == nullptr ? dash : StrCat(a->memo_hits));
+    } else {
+      row.cells.push_back(StrCat(a->out_rows));
+      row.cells.push_back(StrCat(a->tuples_examined));
+      row.cells.push_back(FormatMillis(a->wall_ms));
+      row.cells.push_back(StrCat(a->executions));
+      row.cells.push_back(StrCat(a->memo_hits));
+    }
+  }
+  rows->push_back(std::move(row));
+  for (const auto& child : node.children) {
+    CollectRows(*child, depth + 1, profile, rows);
+  }
+}
+
+}  // namespace
+
+std::string RenderExplain(const PlanNode& tree,
+                          const ExecutionProfile* profile) {
+  std::vector<Row> rows;
+  CollectRows(tree, 0, profile, &rows);
+
+  std::vector<std::string> headers = {"EST COST", "EST ROWS"};
+  if (profile != nullptr) {
+    headers.insert(headers.end(),
+                   {"ROWS", "TUPLES", "TIME MS", "EXEC", "MEMO"});
+  }
+
+  size_t label_width = 4;  // "PLAN"
+  for (const Row& row : rows) {
+    if (row.label.size() > label_width) label_width = row.label.size();
+  }
+  std::vector<size_t> widths(headers.size());
+  for (size_t c = 0; c < headers.size(); ++c) {
+    widths[c] = headers[c].size();
+    for (const Row& row : rows) {
+      if (row.cells[c].size() > widths[c]) widths[c] = row.cells[c].size();
+    }
+  }
+
+  std::ostringstream os;
+  auto emit = [&](const std::string& label,
+                  const std::vector<std::string>& cells) {
+    os << label;
+    for (size_t i = label.size(); i < label_width; ++i) os << ' ';
+    for (size_t c = 0; c < cells.size(); ++c) {
+      os << "  ";
+      for (size_t i = cells[c].size(); i < widths[c]; ++i) os << ' ';
+      os << cells[c];  // right-aligned numeric columns
+    }
+    os << '\n';
+  };
+
+  emit("PLAN", headers);
+  size_t total = label_width;
+  for (size_t w : widths) total += 2 + w;
+  os << std::string(total, '-') << '\n';
+  for (const Row& row : rows) emit(row.label, row.cells);
+  return os.str();
+}
+
+}  // namespace ldl

@@ -1,0 +1,28 @@
+#ifndef LDLOPT_PLAN_EXPLAIN_H_
+#define LDLOPT_PLAN_EXPLAIN_H_
+
+#include <string>
+
+#include "obs/context.h"
+#include "plan/processing_tree.h"
+
+namespace ldl {
+
+/// EXPLAIN / EXPLAIN ANALYZE rendering of an annotated processing tree.
+///
+/// Without a profile the output is the estimate-only EXPLAIN view: one row
+/// per node showing the tree structure (AND/OR/CC/SCAN/BUILTIN, [mat]/[pipe]
+/// marks, method labels, adornments) with the optimizer's cost and
+/// cardinality estimates in aligned columns.
+///
+/// With a profile (an ExecutionProfile filled by TreeInterpreter over the
+/// same tree) it becomes EXPLAIN ANALYZE: estimated cost/rows side by side
+/// with measured rows, tuples examined, wall time, executions and memo hits
+/// per node. Nodes the execution never reached (e.g. builtins evaluated
+/// inline by their AND parent) show "-" in the measured columns.
+std::string RenderExplain(const PlanNode& tree,
+                          const ExecutionProfile* profile = nullptr);
+
+}  // namespace ldl
+
+#endif  // LDLOPT_PLAN_EXPLAIN_H_

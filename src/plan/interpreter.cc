@@ -1,5 +1,6 @@
 #include "plan/interpreter.h"
 
+#include <chrono>
 #include <sstream>
 
 #include "base/strings.h"
@@ -74,8 +75,16 @@ Result<const Relation*> TreeInterpreter::ExecuteNode(
   auto it = memo_.find(key);
   if (it != memo_.end()) {
     ++memo_hits_;
+    profile_.nodes[&node].memo_hits++;
     return it->second.get();
   }
+
+  // Per-node actuals for EXPLAIN ANALYZE: wall time and tuples examined are
+  // inclusive of the node's subtree (children execute inside this frame).
+  Span span = trace_.StartSpan(PlanNodeKindToString(node.kind), "interpreter");
+  if (span.active()) span.AddArg("goal", goal_instance.ToString());
+  const size_t examined_before = counters_.tuples_examined;
+  const auto wall_start = std::chrono::steady_clock::now();
 
   Result<Relation> result = [&]() -> Result<Relation> {
     switch (node.kind) {
@@ -94,6 +103,14 @@ Result<const Relation*> TreeInterpreter::ExecuteNode(
     return Status::Internal("unknown node kind");
   }();
   LDL_RETURN_NOT_OK(result.status());
+
+  NodeActuals& actuals = profile_.nodes[&node];
+  actuals.executions++;
+  actuals.out_rows = result->size();
+  actuals.tuples_examined += counters_.tuples_examined - examined_before;
+  actuals.wall_ms += std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - wall_start)
+                         .count();
 
   auto stored = std::make_unique<Relation>(std::move(result).value());
   const Relation* raw = stored.get();
@@ -301,7 +318,10 @@ std::optional<Result<Relation>> TreeInterpreter::TryHashJoin(
         h.push_back(a);
       }
     }
-    if (ok) out.Insert(std::move(h));
+    if (ok) {
+      counters_.derivations++;
+      out.Insert(std::move(h));
+    }
   }
   counters_.inserts += out.size();
   return Result<Relation>(std::move(out));
@@ -338,6 +358,7 @@ Result<Relation> TreeInterpreter::ExecuteCc(const PlanNode& node,
   }
 
   QueryEvalOptions options;
+  options.fixpoint.trace = trace_;
   for (size_t i = 0; i < node.clique_rules.size() &&
                      i < node.clique_orders.size();
        ++i) {

@@ -9,6 +9,7 @@
 #include "ast/program.h"
 #include "base/status.h"
 #include "engine/fixpoint.h"
+#include "obs/context.h"
 #include "plan/processing_tree.h"
 #include "storage/database.h"
 
@@ -49,6 +50,12 @@ class TreeInterpreter {
   const EvalCounters& counters() const { return counters_; }
   size_t memo_hits() const { return memo_hits_; }
 
+  /// Observability: spans per executed node plus per-node measured
+  /// rows/time/work, the raw material of EXPLAIN ANALYZE
+  /// (plan/explain.h). Set before Execute; inert by default.
+  void set_trace(const TraceContext& trace) { trace_ = trace; }
+  const ExecutionProfile& profile() const { return profile_; }
+
  private:
   Result<const Relation*> ExecuteNode(const PlanNode& node,
                                       const Literal& goal_instance);
@@ -69,6 +76,8 @@ class TreeInterpreter {
   std::map<std::string, std::unique_ptr<Relation>> memo_;
   EvalCounters counters_;
   size_t memo_hits_ = 0;
+  TraceContext trace_;
+  ExecutionProfile profile_;
 };
 
 }  // namespace ldl

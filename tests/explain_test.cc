@@ -1,0 +1,151 @@
+// Tests for the EXPLAIN / EXPLAIN ANALYZE renderer (plan/explain.h) and
+// LdlSystem::ExplainAnalyze: golden output for the estimate-only view over
+// nonrecursive and recursive (CC) plans, and populated estimate-vs-actual
+// columns after execution.
+
+#include "plan/explain.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "ast/parser.h"
+#include "ldl/ldl.h"
+#include "obs/context.h"
+#include "optimizer/optimizer.h"
+#include "plan/interpreter.h"
+#include "plan/processing_tree.h"
+
+namespace ldl {
+namespace {
+
+constexpr const char* kJoinProgram = R"(
+  grandparent(X, Z) <- parent(X, Y), parent(Y, Z).
+  parent(abe, homer).
+  parent(homer, bart).
+  parent(homer, lisa).
+  parent(marge, bart).
+)";
+
+constexpr const char* kAncestorProgram = R"(
+  anc(X, Y) <- par(X, Y).
+  anc(X, Y) <- par(X, Z), anc(Z, Y).
+  par(bart, homer).
+  par(homer, abe).
+  par(abe, orville).
+)";
+
+/// Builds the annotated processing tree the way LdlSystem::ExplainTree does
+/// (minus the projection-pushing rewrite, for byte-stable goldens).
+std::unique_ptr<PlanNode> AnnotatedTree(LdlSystem* sys,
+                                        const std::string& goal_text) {
+  auto goal = ParseLiteral(goal_text);
+  EXPECT_TRUE(goal.ok()) << goal.status().ToString();
+  auto tree = BuildProcessingTree(sys->program(), *goal);
+  EXPECT_TRUE(tree.ok()) << tree.status().ToString();
+  Optimizer optimizer(sys->program(), sys->statistics(), {});
+  Status annotated = optimizer.AnnotateTree(tree->get());
+  EXPECT_TRUE(annotated.ok()) << annotated.ToString();
+  return std::move(*tree);
+}
+
+TEST(ExplainTest, GoldenNonrecursiveJoin) {
+  LdlSystem sys;
+  ASSERT_TRUE(sys.LoadProgram(kJoinProgram).ok());
+  std::unique_ptr<PlanNode> tree = AnnotatedTree(&sys, "grandparent(abe, Z)");
+  std::string text = RenderExplain(*tree);
+  EXPECT_EQ(text,
+            "PLAN                                                    "
+            "EST COST  EST ROWS\n"
+            "--------------------------------------------------------"
+            "------------------\n"
+            "OR [mat] union grandparent(abe, Z) :bf                   "
+            "6.26667   1.77778\n"
+            "  AND [mat] nested-loop grandparent(X, Z) :bf (rule 0)   "
+            "6.26667   1.77778\n"
+            "    SCAN [mat] index-scan parent(X, Y) :bf               "
+            "2.53333   1.33333\n"
+            "    SCAN [mat] index-scan parent(Y, Z) :bf               "
+            "2.53333   1.33333\n");
+}
+
+TEST(ExplainTest, GoldenRecursiveCc) {
+  LdlSystem sys;
+  ASSERT_TRUE(sys.LoadProgram(kAncestorProgram).ok());
+  std::unique_ptr<PlanNode> tree = AnnotatedTree(&sys, "anc(bart, Y)");
+  std::string text = RenderExplain(*tree);
+  EXPECT_EQ(text,
+            "PLAN                                         EST COST  EST ROWS\n"
+            "---------------------------------------------------------------\n"
+            "CC [pipe] counting anc(bart, Y) :bf {anc/2}       9.3         3\n"
+            "  SCAN [mat] scan par(X, Y) :ff                     3         3\n"
+            "  SCAN [mat] scan par(X, Z) :ff                     3         3\n");
+}
+
+TEST(ExplainTest, AnalyzePopulatesActualColumns) {
+  LdlSystem sys;
+  ASSERT_TRUE(sys.LoadProgram(kJoinProgram).ok());
+  std::unique_ptr<PlanNode> tree = AnnotatedTree(&sys, "grandparent(abe, Z)");
+
+  TreeInterpreter interpreter(sys.program(), sys.database());
+  auto result = interpreter.Execute(*tree, tree->goal);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->size(), 2u);  // abe -> homer -> {bart, lisa}
+
+  std::string text = RenderExplain(*tree, &interpreter.profile());
+  // Measured columns are present...
+  EXPECT_NE(text.find("ROWS"), std::string::npos);
+  EXPECT_NE(text.find("TUPLES"), std::string::npos);
+  EXPECT_NE(text.find("TIME MS"), std::string::npos);
+  EXPECT_NE(text.find("EXEC"), std::string::npos);
+  EXPECT_NE(text.find("MEMO"), std::string::npos);
+
+  // ...and populated: the root OR row was executed once and produced the
+  // 2 answers, next to its estimates.
+  const NodeActuals* root = interpreter.profile().Find(tree.get());
+  ASSERT_NE(root, nullptr);
+  EXPECT_EQ(root->executions, 1u);
+  EXPECT_EQ(root->out_rows, 2u);
+  EXPECT_GT(root->tuples_examined, 0u);
+  EXPECT_GE(root->wall_ms, 0.0);
+}
+
+TEST(ExplainTest, AnalyzeRecursiveCcMeasuresFixpoint) {
+  LdlSystem sys;
+  ASSERT_TRUE(sys.LoadProgram(kAncestorProgram).ok());
+  std::unique_ptr<PlanNode> tree = AnnotatedTree(&sys, "anc(bart, Y)");
+  ASSERT_EQ(tree->kind, PlanNodeKind::kCc);
+
+  TreeInterpreter interpreter(sys.program(), sys.database());
+  auto result = interpreter.Execute(*tree, tree->goal);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->size(), 3u);  // homer, abe, orville
+
+  const NodeActuals* root = interpreter.profile().Find(tree.get());
+  ASSERT_NE(root, nullptr);
+  EXPECT_EQ(root->executions, 1u);
+  EXPECT_EQ(root->out_rows, 3u);
+  EXPECT_GT(root->tuples_examined, 0u);
+}
+
+TEST(ExplainTest, LdlSystemExplainAnalyzeEndToEnd) {
+  LdlSystem sys;
+  ASSERT_TRUE(sys.LoadProgram(kAncestorProgram).ok());
+  auto text = sys.ExplainAnalyze("anc(bart, Y)");
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  EXPECT_NE(text->find("EST COST"), std::string::npos);
+  EXPECT_NE(text->find("TIME MS"), std::string::npos);
+  EXPECT_NE(text->find("CC"), std::string::npos);
+  EXPECT_NE(text->find("Answers: 3 rows"), std::string::npos);
+  EXPECT_NE(text->find("tuples examined"), std::string::npos);
+}
+
+TEST(ExplainTest, ExplainAnalyzeRejectsMalformedGoal) {
+  LdlSystem sys;
+  ASSERT_TRUE(sys.LoadProgram(kJoinProgram).ok());
+  auto text = sys.ExplainAnalyze("not a goal ((");
+  EXPECT_FALSE(text.ok());
+}
+
+}  // namespace
+}  // namespace ldl

@@ -1,0 +1,245 @@
+// Tests for the observability layer (src/obs/): span lifecycle and nesting,
+// the zero-allocation disabled path, the metrics registry, and the Chrome
+// trace / metrics JSON exports.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <sstream>
+#include <thread>
+
+#include "obs/context.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+// Global allocation counter for the zero-allocation tests. Counting is
+// process-wide, so the measured block must not run concurrently with other
+// allocating threads (true under gtest's single-threaded runner).
+static std::atomic<uint64_t> g_allocations{0};
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  void* p = std::malloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+
+namespace ldl {
+namespace {
+
+TEST(TracerTest, RecordsSpanWithDuration) {
+  Tracer tracer;
+  {
+    Span span(&tracer, "work", "test");
+    span.AddArg("k", "v");
+  }
+  ASSERT_EQ(tracer.event_count(), 1u);
+  TraceEvent event = tracer.snapshot()[0];
+  EXPECT_EQ(event.name, "work");
+  EXPECT_EQ(event.category, "test");
+  ASSERT_EQ(event.args.size(), 1u);
+  EXPECT_EQ(event.args[0].first, "k");
+  EXPECT_EQ(event.args[0].second, "v");
+  EXPECT_GE(event.thread_id, 1u);
+}
+
+TEST(TracerTest, NestedSpansAreContainedInParentRange) {
+  Tracer tracer;
+  {
+    Span outer(&tracer, "outer");
+    {
+      Span inner(&tracer, "inner");
+      // A little real work so durations are nonzero-ish but tiny.
+      volatile int sink = 0;
+      for (int i = 0; i < 1000; ++i) sink += i;
+    }
+  }
+  ASSERT_EQ(tracer.event_count(), 2u);
+  auto events = tracer.snapshot();
+  // Inner finishes (and records) first.
+  const TraceEvent& inner = events[0];
+  const TraceEvent& outer = events[1];
+  EXPECT_EQ(inner.name, "inner");
+  EXPECT_EQ(outer.name, "outer");
+  EXPECT_GE(inner.start_us, outer.start_us);
+  EXPECT_LE(inner.start_us + inner.duration_us,
+            outer.start_us + outer.duration_us);
+  EXPECT_LE(inner.duration_us, outer.duration_us);
+}
+
+TEST(TracerTest, TimingIsMonotonic) {
+  Tracer tracer;
+  uint64_t last = tracer.NowMicros();
+  for (int i = 0; i < 100; ++i) {
+    uint64_t now = tracer.NowMicros();
+    EXPECT_GE(now, last);
+    last = now;
+  }
+}
+
+TEST(TracerTest, FinishEndsSpanEarly) {
+  Tracer tracer;
+  Span span(&tracer, "early");
+  span.Finish();
+  EXPECT_FALSE(span.active());
+  EXPECT_EQ(tracer.event_count(), 1u);
+  span.Finish();  // idempotent
+  EXPECT_EQ(tracer.event_count(), 1u);
+}
+
+TEST(TracerTest, MoveTransfersOwnership) {
+  Tracer tracer;
+  {
+    Span a(&tracer, "moved");
+    Span b = std::move(a);
+    EXPECT_FALSE(a.active());
+    EXPECT_TRUE(b.active());
+  }
+  // Exactly one event despite two Span objects.
+  EXPECT_EQ(tracer.event_count(), 1u);
+}
+
+TEST(TracerTest, DisabledTracerRecordsNothing) {
+  Tracer tracer;
+  tracer.set_enabled(false);
+  {
+    Span span(&tracer, "skipped");
+    EXPECT_FALSE(span.active());
+  }
+  EXPECT_EQ(tracer.event_count(), 0u);
+}
+
+TEST(TracerTest, DisabledPathDoesNotAllocate) {
+  Tracer tracer;
+  tracer.set_enabled(false);
+  TraceContext null_context;  // no tracer, no metrics
+  TraceContext disabled{&tracer, nullptr};
+
+  const uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  for (int i = 0; i < 100; ++i) {
+    Span a(nullptr, "null-tracer");
+    a.AddArg("key", "value");
+    Span b(&tracer, "disabled-tracer");
+    b.AddArg("key", "value");
+    b.Finish();
+    Span c = null_context.StartSpan("context");
+    null_context.Count("counter");
+    null_context.Observe("histogram", 1.0);
+    null_context.Set("gauge", 1.0);
+    Span d = disabled.StartSpan("disabled-context");
+  }
+  const uint64_t after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u);
+}
+
+TEST(TracerTest, ChromeTraceJsonShape) {
+  Tracer tracer;
+  {
+    Span span(&tracer, "na\"me", "cat");
+    span.AddArg("detail", "line1\nline2");
+  }
+  std::ostringstream os;
+  tracer.WriteChromeTrace(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("na\\\"me"), std::string::npos);   // escaped quote
+  EXPECT_NE(json.find("line1\\nline2"), std::string::npos);  // escaped \n
+  EXPECT_EQ(json.find("line1\nline2"), std::string::npos);  // no raw newline
+}
+
+TEST(TracerTest, SpansFromMultipleThreadsGetDistinctIds) {
+  Tracer tracer;
+  std::thread t1([&] { Span span(&tracer, "t1"); });
+  std::thread t2([&] { Span span(&tracer, "t2"); });
+  t1.join();
+  t2.join();
+  auto events = tracer.snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_NE(events[0].thread_id, events[1].thread_id);
+}
+
+TEST(MetricsTest, CounterGaugeHistogram) {
+  MetricsRegistry registry;
+  registry.counter("c")->Increment();
+  registry.counter("c")->Increment(4);
+  EXPECT_EQ(registry.counter_value("c"), 5u);
+  EXPECT_EQ(registry.counter_value("missing"), 0u);
+
+  registry.gauge("g")->Set(2.5);
+  EXPECT_DOUBLE_EQ(registry.gauge_value("g"), 2.5);
+
+  Histogram* h = registry.histogram("h");
+  h->Record(1);
+  h->Record(3);
+  h->Record(8);
+  EXPECT_EQ(h->count(), 3u);
+  EXPECT_DOUBLE_EQ(h->sum(), 12);
+  EXPECT_DOUBLE_EQ(h->min(), 1);
+  EXPECT_DOUBLE_EQ(h->max(), 8);
+  EXPECT_DOUBLE_EQ(h->mean(), 4);
+  EXPECT_EQ(registry.find_histogram("h"), h);
+  EXPECT_EQ(registry.find_histogram("missing"), nullptr);
+}
+
+TEST(MetricsTest, RegistryReturnsStablePointers) {
+  MetricsRegistry registry;
+  Counter* c = registry.counter("stable");
+  for (int i = 0; i < 100; ++i) {
+    registry.counter("other" + std::to_string(i));
+  }
+  EXPECT_EQ(registry.counter("stable"), c);
+}
+
+TEST(MetricsTest, WriteJsonShape) {
+  MetricsRegistry registry;
+  registry.counter("engine.tuples")->Increment(7);
+  registry.gauge("fanout")->Set(1.5);
+  registry.histogram("delta")->Record(4);
+  std::ostringstream os;
+  registry.WriteJson(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"engine.tuples\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\":1"), std::string::npos);
+}
+
+TEST(ContextTest, ActiveAndInert) {
+  TraceContext inert;
+  EXPECT_FALSE(inert.active());
+
+  Tracer tracer;
+  MetricsRegistry metrics;
+  TraceContext context{&tracer, &metrics};
+  EXPECT_TRUE(context.active());
+  {
+    Span span = context.StartSpan("spanned", "test");
+    EXPECT_TRUE(span.active());
+  }
+  context.Count("hits", 2);
+  context.Observe("sizes", 10);
+  context.Set("level", 3);
+  EXPECT_EQ(tracer.event_count(), 1u);
+  EXPECT_EQ(metrics.counter_value("hits"), 2u);
+  EXPECT_EQ(metrics.find_histogram("sizes")->count(), 1u);
+  EXPECT_DOUBLE_EQ(metrics.gauge_value("level"), 3);
+}
+
+TEST(ContextTest, ExecutionProfileLookup) {
+  ExecutionProfile profile;
+  int node = 0;
+  EXPECT_EQ(profile.Find(&node), nullptr);
+  profile.nodes[&node].out_rows = 9;
+  ASSERT_NE(profile.Find(&node), nullptr);
+  EXPECT_EQ(profile.Find(&node)->out_rows, 9u);
+}
+
+}  // namespace
+}  // namespace ldl

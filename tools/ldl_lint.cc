@@ -3,9 +3,11 @@
 // Usage: ldl_lint [options] file.ldl [file.ldl ...]
 //        ldl_lint [options] -          (read one program from stdin)
 //
-//   --werror     treat warnings as errors (nonzero exit)
-//   --no-warn    suppress warnings entirely
-//   --no-verify  skip optimizing + plan-verifying the embedded query forms
+//   --werror       treat warnings as errors (nonzero exit)
+//   --no-warn      suppress warnings entirely
+//   --no-verify    skip optimizing + plan-verifying the embedded query forms
+//   --trace FILE   write per-phase spans (parse / lint / verify-queries,
+//                  one set per input) as Chrome trace_event JSON
 //
 // For each file: parse (parse failures report as error L000), run every
 // ProgramLinter check, then — unless --no-verify — optimize each embedded
@@ -25,6 +27,7 @@
 #include "analysis/linter.h"
 #include "ast/parser.h"
 #include "ldl/ldl.h"
+#include "obs/trace.h"
 
 namespace {
 
@@ -32,12 +35,13 @@ struct CliOptions {
   bool werror = false;
   bool warnings = true;
   bool verify_queries = true;
+  std::string trace_file;
   std::vector<std::string> files;
 };
 
 int Usage() {
   std::cerr << "usage: ldl_lint [--werror] [--no-warn] [--no-verify] "
-               "file.ldl... | -\n";
+               "[--trace FILE] file.ldl... | -\n";
   return 2;
 }
 
@@ -100,6 +104,8 @@ int main(int argc, char** argv) {
       cli.warnings = false;
     } else if (arg == "--no-verify") {
       cli.verify_queries = false;
+    } else if (arg == "--trace" && i + 1 < argc) {
+      cli.trace_file = argv[++i];
     } else if (arg == "--help" || arg == "-h") {
       Usage();
       return 0;
@@ -112,9 +118,14 @@ int main(int argc, char** argv) {
   }
   if (cli.files.empty()) return Usage();
 
+  ldl::Tracer tracer;
+  tracer.set_enabled(!cli.trace_file.empty());
+
   size_t total_errors = 0;
   size_t total_warnings = 0;
   for (const std::string& file : cli.files) {
+    ldl::Span file_span(&tracer, "lint-file", "lint");
+    if (file_span.active()) file_span.AddArg("file", file);
     std::string text;
     if (!ReadInput(file, &text)) {
       std::cout << file << ": error L000: cannot read file\n";
@@ -122,18 +133,32 @@ int main(int argc, char** argv) {
       continue;
     }
     ldl::DiagnosticSink sink;
+    ldl::Span parse_span(&tracer, "parse", "lint");
     auto parsed = ldl::ParseProgram(text);
+    parse_span.Finish();
     if (!parsed.ok()) {
       sink.Error("L000", parsed.status().ToString());
     } else {
+      ldl::Span lint_span(&tracer, "lint", "lint");
       ldl::ProgramLinter(*parsed).Lint(&sink);
+      lint_span.Finish();
       if (cli.verify_queries && !sink.HasErrors()) {
+        ldl::Span verify_span(&tracer, "verify-queries", "lint");
         VerifyQueries(text, &sink);
       }
     }
     Print(file, sink, cli.warnings);
     total_errors += sink.error_count();
     total_warnings += sink.warning_count();
+  }
+
+  if (!cli.trace_file.empty()) {
+    std::ofstream out(cli.trace_file);
+    if (!out) {
+      std::cerr << "ldl_lint: cannot write " << cli.trace_file << "\n";
+      return 2;
+    }
+    tracer.WriteChromeTrace(out);
   }
 
   if (total_errors + (cli.werror ? total_warnings : 0) > 0) {

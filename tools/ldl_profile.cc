@@ -1,0 +1,168 @@
+// ldl_profile — optimizer and engine observability for LDL programs.
+//
+// Usage: ldl_profile [options] file.ldl
+//        ldl_profile [options] -          (read the program from stdin)
+//
+//   --analyze            EXPLAIN ANALYZE: execute each query through the
+//                        tree interpreter and print estimated cost next to
+//                        measured rows / tuples / time per plan node.
+//                        Default is EXPLAIN only (no execution).
+//   --query GOAL         profile GOAL (e.g. "anc(bart, Y)") instead of the
+//                        query forms embedded in the file. Repeatable.
+//   --trace-json FILE    write spans as Chrome trace_event JSON (loadable
+//                        in Perfetto / chrome://tracing).
+//   --metrics-json FILE  write the metrics registry as flat JSON.
+//   --metrics            print the metrics registry to stdout.
+//
+// Exit status: 0 success, 1 any query failed, 2 usage error.
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "ldl/ldl.h"
+#include "obs/context.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace {
+
+struct CliOptions {
+  bool analyze = false;
+  bool print_metrics = false;
+  std::string trace_json;
+  std::string metrics_json;
+  std::vector<std::string> queries;
+  std::string file;
+};
+
+int Usage() {
+  std::cerr << "usage: ldl_profile [--analyze] [--query GOAL]... "
+               "[--trace-json FILE] [--metrics-json FILE] [--metrics] "
+               "file.ldl | -\n";
+  return 2;
+}
+
+bool ReadInput(const std::string& name, std::string* out) {
+  if (name == "-") {
+    std::ostringstream buffer;
+    buffer << std::cin.rdbuf();
+    *out = buffer.str();
+    return true;
+  }
+  std::ifstream in(name);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions cli;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--analyze") {
+      cli.analyze = true;
+    } else if (arg == "--metrics") {
+      cli.print_metrics = true;
+    } else if (arg == "--query" && i + 1 < argc) {
+      cli.queries.push_back(argv[++i]);
+    } else if (arg == "--trace-json" && i + 1 < argc) {
+      cli.trace_json = argv[++i];
+    } else if (arg == "--metrics-json" && i + 1 < argc) {
+      cli.metrics_json = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      Usage();
+      return 0;
+    } else if (arg.size() > 1 && arg[0] == '-') {
+      std::cerr << "ldl_profile: unknown option " << arg << "\n";
+      return Usage();
+    } else if (cli.file.empty()) {
+      cli.file = arg;
+    } else {
+      std::cerr << "ldl_profile: more than one input file\n";
+      return Usage();
+    }
+  }
+  if (cli.file.empty()) return Usage();
+
+  std::string text;
+  if (!ReadInput(cli.file, &text)) {
+    std::cerr << "ldl_profile: cannot read " << cli.file << "\n";
+    return 1;
+  }
+
+  ldl::Tracer tracer;
+  tracer.set_enabled(true);
+  ldl::MetricsRegistry metrics;
+  ldl::OptimizerOptions options;
+  options.trace.tracer = &tracer;
+  options.trace.metrics = &metrics;
+
+  ldl::LdlSystem sys(options);
+  ldl::Status load = sys.LoadProgram(text);
+  if (!load.ok()) {
+    std::cerr << "ldl_profile: " << cli.file << ": " << load.ToString()
+              << "\n";
+    return 1;
+  }
+
+  std::vector<std::string> goals = cli.queries;
+  if (goals.empty()) {
+    for (const ldl::QueryForm& query : sys.pending_queries()) {
+      goals.push_back(query.goal.ToString());
+    }
+  }
+  if (goals.empty()) {
+    std::cout << cli.file << ": no queries to profile (embed `goal?` forms "
+                             "or pass --query)\n";
+  }
+
+  bool failed = false;
+  for (const std::string& goal : goals) {
+    std::cout << "== " << (cli.analyze ? "EXPLAIN ANALYZE " : "EXPLAIN ")
+              << goal << "? ==\n";
+    // The plan summary (and, via Optimize, the optimizer.* metrics).
+    auto plan = sys.Explain(goal);
+    if (!plan.ok()) {
+      std::cerr << "ldl_profile: " << goal << ": " << plan.status().ToString()
+                << "\n";
+      failed = true;
+      continue;
+    }
+    std::cout << *plan << "\n";
+    auto rendered =
+        cli.analyze ? sys.ExplainAnalyze(goal) : sys.ExplainTree(goal);
+    if (!rendered.ok()) {
+      std::cerr << "ldl_profile: " << goal << ": "
+                << rendered.status().ToString() << "\n";
+      failed = true;
+      continue;
+    }
+    std::cout << *rendered << "\n";
+  }
+
+  if (cli.print_metrics) std::cout << metrics.ToString();
+  if (!cli.metrics_json.empty()) {
+    std::ofstream out(cli.metrics_json);
+    if (!out) {
+      std::cerr << "ldl_profile: cannot write " << cli.metrics_json << "\n";
+      return 1;
+    }
+    metrics.WriteJson(out);
+  }
+  if (!cli.trace_json.empty()) {
+    std::ofstream out(cli.trace_json);
+    if (!out) {
+      std::cerr << "ldl_profile: cannot write " << cli.trace_json << "\n";
+      return 1;
+    }
+    tracer.WriteChromeTrace(out);
+  }
+  return failed ? 1 : 0;
+}
