@@ -1,0 +1,142 @@
+// Experiment E11 — cost-model calibration and plan regret.
+//
+// The paper treats the cost model as a trusted black box: the optimizer
+// minimizes estimated cost and never looks back. This bench closes the
+// loop: for each example workload it runs EXPLAIN ANALYZE, pairs the
+// optimizer's per-node cardinality estimates with the measured actuals
+// (q-error = max(est/act, act/est)), and re-optimizes under the measured
+// cardinalities to get the hindsight-optimal plan — reporting how much the
+// chosen plan *actually* cost relative to it (regret ratio). A ratio of 1
+// means the estimation errors, however large, did not change any decision.
+//
+// Rows are per (workload, search strategy); the JSON export feeds the
+// bench-regression harness (tools/bench_diff).
+
+#include <benchmark/benchmark.h>
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "ldl/ldl.h"
+#include "testing/workloads.h"
+
+namespace ldl {
+namespace {
+
+using bench::Fmt;
+using bench::Stopwatch;
+using bench::Table;
+
+struct Workload {
+  std::string name;
+  std::string rules;
+  std::function<size_t(Database*)> data;  ///< returns node count
+  std::function<std::string(size_t)> query;  ///< goal text from node count
+};
+
+std::vector<Workload> MakeWorkloads() {
+  return {
+      {"anc.bf tree f=3 d=6",
+       R"(anc(X, Y) <- par(X, Y).
+          anc(X, Y) <- par(X, Z), anc(Z, Y).)",
+       [](Database* db) { return testing::MakeTreeParentData(3, 6, db); },
+       [](size_t nodes) {
+         return "anc(" + std::to_string(nodes - 1) + ", Y)";
+       }},
+      {"sg.bf tree f=3 d=5",
+       R"(sg(X, Y) <- flat(X, Y).
+          sg(X, Y) <- up(X, X1), sg(X1, Y1), dn(Y1, Y).)",
+       [](Database* db) { return testing::MakeSameGenerationData(3, 5, db); },
+       [](size_t nodes) {
+         return "sg(" + std::to_string(nodes - 1) + ", Y)";
+       }},
+      {"gp.bf join f=4 d=5",
+       R"(gp(X, Z) <- par(X, Y), par(Y, Z).
+          ggp(X, W) <- gp(X, Z), par(Z, W).)",
+       [](Database* db) { return testing::MakeTreeParentData(4, 5, db); },
+       [](size_t nodes) {
+         return "ggp(" + std::to_string(nodes - 1) + ", W)";
+       }},
+  };
+}
+
+const std::vector<SearchStrategy>& Strategies() {
+  static const std::vector<SearchStrategy> kStrategies = {
+      SearchStrategy::kExhaustive, SearchStrategy::kDynamicProgramming,
+      SearchStrategy::kKbz, SearchStrategy::kAnnealing,
+      SearchStrategy::kLexicographic};
+  return kStrategies;
+}
+
+void PrintExperiment() {
+  bench::Banner("E11", "cost-model calibration: q-error and plan regret "
+                       "per search strategy");
+  Table table({"workload", "strategy", "nodes", "q-err p50", "q-err p95",
+               "q-err max", "regret ratio", "changes", "analyze ms"});
+
+  for (const Workload& w : MakeWorkloads()) {
+    for (SearchStrategy strategy : Strategies()) {
+      OptimizerOptions options;
+      options.strategy = strategy;
+      LdlSystem sys(options);
+      if (!sys.LoadProgram(w.rules).ok()) continue;
+      size_t nodes = w.data(sys.database());
+      sys.RefreshStatistics();
+
+      Stopwatch watch;
+      auto analyzed = sys.AnalyzeCalibrated(w.query(nodes));
+      double ms = watch.ElapsedMs();
+      if (!analyzed.ok()) {
+        table.AddRow({w.name, SearchStrategyToString(strategy), "-", "-", "-",
+                      "-", "-", analyzed.status().ToString().substr(0, 40),
+                      Fmt(ms, "%.2f")});
+        continue;
+      }
+      const CalibrationReport& report = analyzed->report;
+      const RegretAnalysis& regret = report.regret();
+      table.AddRow(
+          {w.name, SearchStrategyToString(strategy),
+           std::to_string(report.sample_count()),
+           Fmt(report.median_q_error(), "%.3f"),
+           Fmt(report.p95_q_error(), "%.3f"),
+           Fmt(report.max_q_error(), "%.3f"),
+           regret.computed ? Fmt(regret.ratio(), "%.3f") : "-",
+           regret.computed ? std::to_string(regret.changes.size())
+                           : regret.note.substr(0, 40),
+           Fmt(ms, "%.2f")});
+    }
+  }
+  table.Print();
+}
+
+void BM_AnalyzeCalibrated(benchmark::State& state) {
+  OptimizerOptions options;
+  LdlSystem sys(options);
+  if (!sys.LoadProgram(R"(anc(X, Y) <- par(X, Y).
+                          anc(X, Y) <- par(X, Z), anc(Z, Y).)")
+           .ok()) {
+    state.SkipWithError("load failed");
+    return;
+  }
+  size_t nodes = testing::MakeTreeParentData(3, 6, sys.database());
+  sys.RefreshStatistics();
+  std::string goal = "anc(" + std::to_string(nodes - 1) + ", Y)";
+  for (auto _ : state) {
+    auto analyzed = sys.AnalyzeCalibrated(goal);
+    benchmark::DoNotOptimize(analyzed);
+  }
+}
+BENCHMARK(BM_AnalyzeCalibrated);
+
+}  // namespace
+}  // namespace ldl
+
+int main(int argc, char** argv) {
+  ldl::PrintExperiment();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  ldl::bench::FlushJson("calibration");
+  return 0;
+}

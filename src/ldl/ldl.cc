@@ -133,12 +133,26 @@ Result<std::string> LdlSystem::ExplainTree(std::string_view goal_text) {
 }
 
 Result<std::string> LdlSystem::ExplainAnalyze(std::string_view goal_text) {
+  LDL_ASSIGN_OR_RETURN(AnalyzeResult res, AnalyzeCalibrated(goal_text));
+  return std::move(res.text);
+}
+
+Result<LdlSystem::AnalyzeResult> LdlSystem::AnalyzeCalibrated(
+    std::string_view goal_text) {
   LDL_ASSIGN_OR_RETURN(Literal goal, ParseLiteral(goal_text));
   if (stats_dirty_) RefreshStatistics();
   LDL_ASSIGN_OR_RETURN(Program working, EffectiveProgram(goal));
+  // Optimize first: the chosen QueryPlan feeds the regret analysis, and an
+  // unsafe plan must not reach the interpreter (it may not terminate).
+  Optimizer optimizer(working, stats_, options_);
+  LDL_ASSIGN_OR_RETURN(QueryPlan plan, optimizer.Optimize(goal));
+  if (!plan.safe) {
+    return Status::Unsafe(StrCat("query ", goal.ToString(),
+                                 "? has no safe execution: ",
+                                 plan.unsafe_reason));
+  }
   LDL_ASSIGN_OR_RETURN(std::unique_ptr<PlanNode> tree,
                        BuildProcessingTree(working, goal));
-  Optimizer optimizer(working, stats_, options_);
   LDL_RETURN_NOT_OK(optimizer.AnnotateTree(tree.get()));
 
   TreeInterpreter interpreter(working, &db_);
@@ -152,7 +166,20 @@ Result<std::string> LdlSystem::ExplainAnalyze(std::string_view goal_text) {
   StrAppend(&out, "Totals: ", c.tuples_examined, " tuples examined, ",
             c.derivations, " derivations, ", interpreter.memo_hits(),
             " memo hits\n");
-  return out;
+
+  CalibrationReport report = CalibrationReport::Build(
+      *tree, interpreter.profile(), goal.ToString());
+  MeasuredStatistics measured =
+      HarvestMeasuredStatistics(*tree, interpreter.profile());
+  report.set_regret(
+      ComputePlanRegret(working, stats_, options_, goal, plan, measured));
+  report.ExportTo(options_.trace.metrics);
+  StrAppend(&out, "\n", report.ToString());
+
+  AnalyzeResult res;
+  res.text = std::move(out);
+  res.report = std::move(report);
+  return res;
 }
 
 SafetyReport LdlSystem::CheckSafety(std::string_view goal_text) {

@@ -8,6 +8,7 @@
 #include "ast/program.h"
 #include "base/status.h"
 #include "engine/query_eval.h"
+#include "obs/calibration.h"
 #include "optimizer/optimizer.h"
 #include "safety/safety.h"
 #include "storage/database.h"
@@ -83,9 +84,20 @@ class LdlSystem {
   /// EXPLAIN ANALYZE: annotates the processing tree with the optimizer's
   /// estimates, executes it through the TreeInterpreter, and renders both
   /// side by side — estimated cost/rows next to measured rows, tuples
-  /// examined and wall time per node (plan/explain.h). Spans and metrics
-  /// flow into the TraceContext set in OptimizerOptions, if any.
+  /// examined and wall time per node (plan/explain.h), followed by the
+  /// CALIBRATION and REGRET sections (obs/calibration.h). Unsafe plans are
+  /// rejected with kUnsafe before execution. Spans and metrics flow into
+  /// the TraceContext set in OptimizerOptions, if any.
   Result<std::string> ExplainAnalyze(std::string_view goal_text);
+
+  /// ExplainAnalyze plus the structured calibration artifact: the rendered
+  /// text and the CalibrationReport (per-node q-errors, aggregates, regret)
+  /// for programmatic consumers (ldl_profile --calibration-json, benches).
+  struct AnalyzeResult {
+    std::string text;
+    CalibrationReport report;
+  };
+  Result<AnalyzeResult> AnalyzeCalibrated(std::string_view goal_text);
 
   /// Safety analysis without optimization.
   SafetyReport CheckSafety(std::string_view goal_text);

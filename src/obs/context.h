@@ -49,9 +49,21 @@ struct TraceContext {
 struct NodeActuals {
   size_t executions = 0;       ///< times the node was actually evaluated
   size_t memo_hits = 0;        ///< times a prior result was reused (tabling)
-  size_t out_rows = 0;         ///< tuples produced by the last evaluation
+  /// Total tuples produced across real evaluations. A memo hit replays a
+  /// result that was already counted, so it must NOT re-add rows here —
+  /// otherwise EXPLAIN ANALYZE double-counts nodes executed under
+  /// memoization. The per-evaluation average (out_rows / executions) is
+  /// what pairs with the optimizer's per-binding cardinality estimate.
+  size_t out_rows = 0;
   size_t tuples_examined = 0;  ///< work done inside the node (inclusive)
   double wall_ms = 0;          ///< wall time across evaluations (inclusive)
+
+  /// Average rows per real evaluation (0 when never executed).
+  double RowsPerExecution() const {
+    return executions == 0
+               ? 0.0
+               : static_cast<double>(out_rows) / static_cast<double>(executions);
+  }
 };
 
 struct ExecutionProfile {

@@ -21,6 +21,30 @@ void Histogram::Record(double v) {
   buckets_[b]++;
 }
 
+double Histogram::percentile(double p) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (count_ == 0) return 0;
+  if (p <= 0) return min_;
+  if (p >= 1) return max_;
+  const double target = p * static_cast<double>(count_);
+  double cum = 0;
+  for (size_t b = 0; b < kBuckets; ++b) {
+    if (buckets_[b] == 0) continue;
+    const double next = cum + static_cast<double>(buckets_[b]);
+    if (target <= next) {
+      // Bucket 0 holds [0, 1); bucket b >= 1 holds [2^(b-1), 2^b).
+      const double lo = b == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(b) - 1);
+      const double hi = std::ldexp(1.0, static_cast<int>(b));
+      const double frac =
+          (target - cum) / static_cast<double>(buckets_[b]);
+      const double v = lo + frac * (hi - lo);
+      return std::min(std::max(v, min_), max_);
+    }
+    cum = next;
+  }
+  return max_;
+}
+
 Counter* MetricsRegistry::counter(std::string_view name) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = counters_.find(name);
@@ -104,7 +128,10 @@ void MetricsRegistry::WriteJson(std::ostream& os) const {
     os << "\"" << JsonEscape(name) << "\":{\"count\":" << h->count()
        << ",\"sum\":" << JsonNumber(h->sum())
        << ",\"min\":" << JsonNumber(h->min())
-       << ",\"max\":" << JsonNumber(h->max()) << "}";
+       << ",\"max\":" << JsonNumber(h->max())
+       << ",\"p50\":" << JsonNumber(h->percentile(0.50))
+       << ",\"p95\":" << JsonNumber(h->percentile(0.95))
+       << ",\"p99\":" << JsonNumber(h->percentile(0.99)) << "}";
   }
   os << "}}\n";
 }
@@ -121,7 +148,9 @@ std::string MetricsRegistry::ToString() const {
   for (const auto& [name, h] : histograms_) {
     os << name << " = {count=" << h->count() << " sum=" << h->sum()
        << " min=" << h->min() << " max=" << h->max()
-       << " mean=" << h->mean() << "}\n";
+       << " mean=" << h->mean() << " p50=" << h->percentile(0.50)
+       << " p95=" << h->percentile(0.95) << " p99=" << h->percentile(0.99)
+       << "}\n";
   }
   return os.str();
 }

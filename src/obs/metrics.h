@@ -69,6 +69,13 @@ class Histogram {
     return buckets_[i];
   }
 
+  /// Interpolated percentile estimate, `p` in [0, 1]: walks the log2
+  /// buckets to the one containing rank p*count and interpolates linearly
+  /// inside it (bucket contents assumed uniform). Clamped to the observed
+  /// [min, max], so p=0 is exact min and p=1 exact max; intermediate values
+  /// are within a factor of 2 of the true order statistic.
+  double percentile(double p) const;
+
  private:
   mutable std::mutex mu_;
   uint64_t count_ = 0;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 
 #include "engine/builtins.h"
 
@@ -41,6 +42,43 @@ ConjunctItem MakeBaseItem(const Literal& lit, const Statistics& stats,
     return est;
   };
   return item;
+}
+
+void MeasuredStatistics::AdjustBaseItem(ConjunctItem* item) const {
+  const PredicateId pred = item->literal.predicate();
+  if (const double* total = Find(pred, Adornment::AllFree(pred.arity))) {
+    item->base_cardinality = std::max(1.0, *total);
+    for (double& d : item->distinct) {
+      d = std::min(d, item->base_cardinality);
+    }
+  }
+  if (!item->estimate) return;
+  auto original = item->estimate;
+  // Non-owning self capture: the overlay outlives the optimizer run (see
+  // OptimizerOptions::measured).
+  item->estimate = [original, this, pred](const Adornment& adn,
+                                          double outer_card) {
+    PlanEstimate est = original(adn, outer_card);
+    if (const double* measured = Find(pred, adn)) {
+      est.card = std::max(*measured, 1e-9);
+    }
+    return est;
+  };
+}
+
+std::string MeasuredStatistics::ToString() const {
+  // Sorted for deterministic output.
+  std::map<std::string, double> sorted;
+  for (const auto& [ap, card] : cards_) sorted[ap.ToString()] = card;
+  std::string out;
+  for (const auto& [name, card] : sorted) {
+    out += name;
+    out += " = ";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g\n", card);
+    out += buf;
+  }
+  return out;
 }
 
 void CostModel::ApplyStep(const ConjunctItem& item, StepState* state) const {

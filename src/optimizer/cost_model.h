@@ -5,6 +5,7 @@
 #include <limits>
 #include <map>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "ast/literal.h"
@@ -98,6 +99,46 @@ struct ConjunctItem {
 /// Builds a ConjunctItem for a base-relation literal from statistics.
 ConjunctItem MakeBaseItem(const Literal& lit, const Statistics& stats,
                           const CostModelOptions& options);
+
+/// Measured ("hindsight") cardinalities keyed by (predicate, adornment),
+/// harvested from an ExecutionProfile after an EXPLAIN ANALYZE run. The
+/// optimizer accepts one as an overlay (OptimizerOptions::measured): wherever
+/// the cost model would use an estimated cardinality for a (predicate,
+/// binding) pair that was actually executed, the measured per-binding row
+/// count is injected instead. Re-optimizing under the overlay yields the
+/// plan the optimizer *would have chosen* with perfect estimates — the basis
+/// of plan-regret analysis (obs/calibration.h).
+///
+/// Cardinalities are per binding instance, matching PlanEstimate::card: the
+/// all-free entry of a predicate is its total measured size.
+class MeasuredStatistics {
+ public:
+  void Set(const PredicateId& pred, const Adornment& adn, double card) {
+    cards_[AdornedPredicate{pred, adn}] = card;
+  }
+
+  /// Measured per-binding cardinality, or nullptr when that (predicate,
+  /// adornment) was never executed.
+  const double* Find(const PredicateId& pred, const Adornment& adn) const {
+    auto it = cards_.find(AdornedPredicate{pred, adn});
+    return it == cards_.end() ? nullptr : &it->second;
+  }
+
+  bool empty() const { return cards_.empty(); }
+  size_t size() const { return cards_.size(); }
+
+  /// Injects the measured truth into a catalog-backed base item: the
+  /// all-free measured size replaces base_cardinality (and caps the
+  /// per-column distinct counts, since distinct <= cardinality), and the
+  /// estimate callback overrides its cardinality for any adornment that was
+  /// measured. The overlay must outlive the item.
+  void AdjustBaseItem(ConjunctItem* item) const;
+
+  std::string ToString() const;
+
+ private:
+  std::unordered_map<AdornedPredicate, double, AdornedPredicateHash> cards_;
+};
 
 /// Running state of a left-to-right walk over a conjunct order.
 struct StepState {

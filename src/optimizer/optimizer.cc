@@ -74,7 +74,10 @@ ConjunctItem Optimizer::MakeItem(const Literal& lit, Subplan* parent) {
     return item;  // ApplyStep computes builtins without an estimate
   }
   if (!program_.IsDerived(lit.predicate())) {
-    return MakeBaseItem(lit, stats_, options_.cost);
+    ConjunctItem item = MakeBaseItem(lit, stats_, options_.cost);
+    // Hindsight overlay: measured truth into the catalog item.
+    if (options_.measured != nullptr) options_.measured->AdjustBaseItem(&item);
+    return item;
   }
 
   // Derived literal: back the estimate with the (predicate, binding) memo.
@@ -168,6 +171,15 @@ Optimizer::Subplan Optimizer::OptimizePredicate(const AdornedPredicate& ap) {
     }
   }
 
+  // Hindsight overlay: when this (predicate, binding) was actually
+  // executed, the measured per-binding cardinality replaces the estimate —
+  // so every parent costing that consumes this subplan sees the truth.
+  if (options_.measured != nullptr && result.est.safe) {
+    if (const double* card = options_.measured->Find(ap.pred, ap.adornment)) {
+      result.est.card = std::max(*card, 1e-9);
+    }
+  }
+
   if (options_.memoize) memo_[ap] = result;
   return result;
 }
@@ -185,8 +197,30 @@ Optimizer::Subplan Optimizer::OptimizeRule(size_t rule_index,
   BoundVars initial;
   BindHeadVariables(rule.head(), head_adn, &initial);
 
-  OrderResult best = TimedFindOrder(items, initial);
-  search_stats_.cost_evaluations += best.cost_evaluations;
+  OrderResult best;
+  bool pinned_order = false;
+  if (options_.pinned != nullptr) {
+    // Plan pinning: cost the chosen order instead of searching. Falls back
+    // to the search when the pinned order is unsafe under this adornment
+    // (best-effort, see PlanConstraints).
+    auto it = options_.pinned->rule_orders.find(rule_index);
+    if (it != options_.pinned->rule_orders.end() &&
+        it->second.size() == rule.body().size()) {
+      SequenceCost cost = model_.CostSequence(items, it->second, initial);
+      search_stats_.cost_evaluations++;
+      if (cost.safe && CheckRuleEc(rule, it->second, head_adn).ok()) {
+        best.order = it->second;
+        best.cost = cost.cost;
+        best.out_card = cost.out_card;
+        best.safe = true;
+        pinned_order = true;
+      }
+    }
+  }
+  if (!pinned_order) {
+    best = TimedFindOrder(items, initial);
+    search_stats_.cost_evaluations += best.cost_evaluations;
+  }
 
   if (!best.safe) {
     plan.est = PlanEstimate::Unsafe();
@@ -536,6 +570,19 @@ Optimizer::Subplan Optimizer::OptimizeClique(int clique_index,
     }
   }
 
+  // Plan pinning: keep only the chosen method's candidate when it is still
+  // applicable under this run's safety analysis (best-effort).
+  if (options_.pinned != nullptr) {
+    auto it = options_.pinned->clique_methods.find(clique_index);
+    if (it != options_.pinned->clique_methods.end()) {
+      std::vector<Candidate> matching;
+      for (const Candidate& c : candidates) {
+        if (c.method == it->second && c.est.safe) matching.push_back(c);
+      }
+      if (!matching.empty()) candidates = std::move(matching);
+    }
+  }
+
   const Candidate* best = nullptr;
   for (const Candidate& c : candidates) {
     if (!c.est.safe) continue;
@@ -720,6 +767,9 @@ Status Optimizer::AnnotateNode(PlanNode* node, const Adornment& binding) {
   switch (node->kind) {
     case PlanNodeKind::kScan: {
       ConjunctItem item = MakeBaseItem(node->goal, stats_, options_.cost);
+      if (options_.measured != nullptr) {
+        options_.measured->AdjustBaseItem(&item);
+      }
       PlanEstimate est = item.estimate(binding, 1.0);
       node->est_cost = est.per_binding;
       node->est_cardinality = est.card;

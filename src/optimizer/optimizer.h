@@ -21,6 +21,25 @@
 
 namespace ldl {
 
+/// Decisions of a previously chosen plan, pinned so a fresh Optimizer run
+/// can *cost* that plan under a different model instead of searching — the
+/// mechanism behind plan-regret analysis (obs/calibration.h): cost the
+/// chosen plan and the hindsight-optimal plan under the same
+/// MeasuredStatistics overlay and compare.
+///
+/// Pinning is best-effort: a pinned rule order that is unsafe (EC-violating)
+/// under some adornment the re-run visits falls back to the normal search
+/// for that (rule, adornment), and a pinned clique method that is
+/// inapplicable under the re-run's safety analysis falls back to the best
+/// applicable one. With identical models on both sides this reproduces the
+/// chosen plan's cost exactly.
+struct PlanConstraints {
+  /// Body order per rule index (QueryPlan::rule_orders of the chosen plan).
+  std::unordered_map<size_t, std::vector<size_t>> rule_orders;
+  /// Recursive method per clique index (QueryPlan::clique_methods).
+  std::map<int, RecursionMethod> clique_methods;
+};
+
 /// Knobs of the whole optimizer.
 struct OptimizerOptions {
   SearchStrategy strategy = SearchStrategy::kExhaustive;
@@ -61,6 +80,17 @@ struct OptimizerOptions {
   /// LdlSystem forwards the same context to the engine so estimates and
   /// measurements land in one registry.
   TraceContext trace;
+
+  /// Hindsight overlay: measured per-(predicate, adornment) cardinalities
+  /// that override the model's estimates wherever available (cost-model
+  /// catalog items and derived-subplan cardinalities). Non-owning; must
+  /// outlive the optimizer. Used by plan-regret analysis.
+  const MeasuredStatistics* measured = nullptr;
+
+  /// Pin the decisions of a previously chosen plan (see PlanConstraints)
+  /// so this run costs that plan instead of searching. Non-owning; must
+  /// outlive the optimizer.
+  const PlanConstraints* pinned = nullptr;
 };
 
 /// Search-effort accounting, the currency of experiments E2/E3/E6.

@@ -104,9 +104,11 @@ Result<const Relation*> TreeInterpreter::ExecuteNode(
   }();
   LDL_RETURN_NOT_OK(result.status());
 
+  // Rows are accumulated on real evaluations only; the memo-hit path above
+  // bumps memo_hits without re-adding rows (see NodeActuals::out_rows).
   NodeActuals& actuals = profile_.nodes[&node];
   actuals.executions++;
-  actuals.out_rows = result->size();
+  actuals.out_rows += result->size();
   actuals.tuples_examined += counters_.tuples_examined - examined_before;
   actuals.wall_ms += std::chrono::duration<double, std::milli>(
                          std::chrono::steady_clock::now() - wall_start)
@@ -116,6 +118,18 @@ Result<const Relation*> TreeInterpreter::ExecuteNode(
   const Relation* raw = stored.get();
   memo_[key] = std::move(stored);
   return raw;
+}
+
+void TreeInterpreter::RecordScanActuals(const PlanNode& node,
+                                        const Relation* rel) {
+  // Scans under AND/CC parents are resolved inline (never through
+  // ExecuteNode), so their actuals are recorded here: one execution per
+  // resolution, rows = the materialized base relation. Selection against
+  // the binding happens downstream in the rule evaluator, so a scan's
+  // per-execution rows measure the relation's total cardinality.
+  NodeActuals& actuals = profile_.nodes[&node];
+  actuals.executions++;
+  actuals.out_rows += rel == nullptr ? 0 : rel->size();
 }
 
 Result<Relation> TreeInterpreter::ExecuteScan(const PlanNode& node,
@@ -180,7 +194,9 @@ Result<Relation> TreeInterpreter::ExecuteAnd(const PlanNode& node,
     const PlanNode& child = *node.children[pos];
     if (child.kind == PlanNodeKind::kBuiltin) return nullptr;
     if (child.kind == PlanNodeKind::kScan) {
-      return db_->Find(child.goal.predicate());
+      Relation* base = db_->Find(child.goal.predicate());
+      RecordScanActuals(child, base);
+      return base;
     }
     // Materialized derived subtree: full result, computed once.
     auto rel = ExecuteNode(child, child.goal);
@@ -244,6 +260,7 @@ std::optional<Result<Relation>> TreeInterpreter::TryHashJoin(
     Relation input("", 0);
     if (child.kind == PlanNodeKind::kScan) {
       Relation* base = db_->Find(child.goal.predicate());
+      RecordScanActuals(child, base);
       input = base == nullptr ? Relation(lit.predicate_name(), lit.arity())
                               : *base;
     } else {
@@ -341,7 +358,12 @@ Result<Relation> TreeInterpreter::ExecuteCc(const PlanNode& node,
   Database merged;
   for (const auto& child : node.children) {
     if (child->kind == PlanNodeKind::kBuiltin) continue;
-    if (child->kind == PlanNodeKind::kScan) continue;  // read from db_ below
+    if (child->kind == PlanNodeKind::kScan) {
+      // Read from db_ below; still record the base-relation read so the
+      // profile carries true base cardinalities.
+      RecordScanActuals(*child, db_->Find(child->goal.predicate()));
+      continue;
+    }
     LDL_ASSIGN_OR_RETURN(const Relation* rel,
                          ExecuteNode(*child, child->goal));
     merged.GetOrCreate(child->goal.predicate())->InsertAll(*rel);

@@ -59,6 +59,9 @@ class TreeInterpreter {
  private:
   Result<const Relation*> ExecuteNode(const PlanNode& node,
                                       const Literal& goal_instance);
+  /// Records actuals for a scan resolved inline by its AND/CC parent (one
+  /// execution; rows = total base-relation cardinality).
+  void RecordScanActuals(const PlanNode& node, const Relation* rel);
   Result<Relation> ExecuteScan(const PlanNode& node, const Literal& goal);
   Result<Relation> ExecuteOr(const PlanNode& node, const Literal& goal);
   Result<Relation> ExecuteAnd(const PlanNode& node, const Literal& goal);

@@ -187,6 +187,45 @@ TEST(MetricsTest, CounterGaugeHistogram) {
   EXPECT_EQ(registry.find_histogram("missing"), nullptr);
 }
 
+TEST(MetricsTest, HistogramPercentileBounds) {
+  Histogram h;
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 0);  // empty
+  for (int v = 1; v <= 100; ++v) h.Record(v);
+  EXPECT_DOUBLE_EQ(h.percentile(0), 1);
+  EXPECT_DOUBLE_EQ(h.percentile(1), 100);
+  // Interpolation inside a log2 bucket is within a factor of 2 of the true
+  // order statistic, and percentiles are monotone in p.
+  double p50 = h.percentile(0.5);
+  EXPECT_GE(p50, 25);
+  EXPECT_LE(p50, 100);
+  EXPECT_LE(h.percentile(0.25), p50);
+  EXPECT_LE(p50, h.percentile(0.95));
+}
+
+TEST(MetricsTest, HistogramPercentileSingleValueClampsToObserved) {
+  Histogram h;
+  for (int i = 0; i < 10; ++i) h.Record(7);
+  // The containing bucket is [4, 8) but the observed range is [7, 7]: every
+  // percentile must clamp to the one real value.
+  for (double p : {0.0, 0.25, 0.5, 0.95, 1.0}) {
+    EXPECT_DOUBLE_EQ(h.percentile(p), 7) << "p=" << p;
+  }
+}
+
+TEST(MetricsTest, HistogramJsonAndTextIncludePercentiles) {
+  MetricsRegistry registry;
+  registry.histogram("delta")->Record(4);
+  std::ostringstream os;
+  registry.WriteJson(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"p50\""), std::string::npos);
+  EXPECT_NE(json.find("\"p95\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+  const std::string text = registry.ToString();
+  EXPECT_NE(text.find("p50="), std::string::npos);
+  EXPECT_NE(text.find("p95="), std::string::npos);
+}
+
 TEST(MetricsTest, RegistryReturnsStablePointers) {
   MetricsRegistry registry;
   Counter* c = registry.counter("stable");

@@ -1,0 +1,485 @@
+// bench_diff — wall-time regression gate over the bench JSON exports.
+//
+// Usage: bench_diff [options] BASELINE_DIR CURRENT_DIR
+//
+//   --threshold PCT      fail when a time-like cell grew by more than PCT
+//                        percent over its baseline (default 25).
+//   --min-baseline MS    ignore comparisons where both sides are below this
+//                        floor (default 5.0 ms) — micro-timings are noise.
+//   --update-baselines   copy CURRENT_DIR's BENCH_*.json into BASELINE_DIR
+//                        instead of comparing (refreshing the committed
+//                        baselines after an intentional perf change).
+//
+// Each bench binary writes BENCH_<name>.json via bench_util's JsonSink:
+// {"bench":..., "experiments":[{"id",...,"tables":[{"headers":[...],
+// "rows":[[...]]}]}]}. Time-like columns are those whose header mentions
+// "ms" or "time"; rows are matched positionally and must agree on their
+// first (label) cell — a reshaped table is reported as skipped, not failed,
+// so adding a workload does not masquerade as a regression.
+//
+// Exit status: 0 no regressions, 1 regression found, 2 usage/parse error.
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------------------
+// Minimal JSON DOM (RFC 8259 subset the bench exports use). json_check
+// validates shape without materializing; this tool needs the values.
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string str;
+  std::vector<JsonValue> items;                             // kArray
+  std::vector<std::pair<std::string, JsonValue>> members;   // kObject
+
+  const JsonValue* Find(const std::string& key) const {
+    for (const auto& [k, v] : members) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  bool Parse(JsonValue* out, std::string* error) {
+    if (!Value(out)) {
+      *error = error_;
+      return false;
+    }
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      *error = "trailing content after JSON value";
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  bool Fail(const std::string& message) {
+    if (error_.empty()) {
+      std::ostringstream os;
+      os << "offset " << pos_ << ": " << message;
+      error_ = os.str();
+    }
+    return false;
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() && std::isspace(
+               static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool Value(JsonValue* out) {
+    SkipSpace();
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    switch (text_[pos_]) {
+      case '{':
+        return Object(out);
+      case '[':
+        return Array(out);
+      case '"':
+        out->kind = JsonValue::Kind::kString;
+        return String(&out->str);
+      case 't':
+      case 'f':
+        out->kind = JsonValue::Kind::kBool;
+        out->boolean = text_[pos_] == 't';
+        return Word(out->boolean ? "true" : "false");
+      case 'n':
+        out->kind = JsonValue::Kind::kNull;
+        return Word("null");
+      default:
+        out->kind = JsonValue::Kind::kNumber;
+        return Number(&out->number);
+    }
+  }
+
+  bool Object(JsonValue* out) {
+    out->kind = JsonValue::Kind::kObject;
+    ++pos_;  // '{'
+    if (Consume('}')) return true;
+    do {
+      SkipSpace();
+      std::string key;
+      if (pos_ >= text_.size() || text_[pos_] != '"' || !String(&key)) {
+        return Fail("expected string key");
+      }
+      if (!Consume(':')) return Fail("expected ':' after key");
+      JsonValue value;
+      if (!Value(&value)) return false;
+      out->members.emplace_back(std::move(key), std::move(value));
+    } while (Consume(','));
+    if (!Consume('}')) return Fail("expected ',' or '}' in object");
+    return true;
+  }
+
+  bool Array(JsonValue* out) {
+    out->kind = JsonValue::Kind::kArray;
+    ++pos_;  // '['
+    if (Consume(']')) return true;
+    do {
+      JsonValue item;
+      if (!Value(&item)) return false;
+      out->items.push_back(std::move(item));
+    } while (Consume(','));
+    if (!Consume(']')) return Fail("expected ',' or ']' in array");
+    return true;
+  }
+
+  bool String(std::string* out) {
+    ++pos_;  // '"'
+    out->clear();
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return Fail("dangling escape");
+        char e = text_[pos_];
+        switch (e) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          case 'n': out->push_back('\n'); break;
+          case 'r': out->push_back('\r'); break;
+          case 't': out->push_back('\t'); break;
+          case 'u': {
+            // Label cells never need non-BMP fidelity; keep a placeholder.
+            for (int i = 0; i < 4; ++i) {
+              ++pos_;
+              if (pos_ >= text_.size() || !std::isxdigit(
+                      static_cast<unsigned char>(text_[pos_]))) {
+                return Fail("invalid \\u escape");
+              }
+            }
+            out->push_back('?');
+            break;
+          }
+          default:
+            return Fail("invalid escape character");
+        }
+        ++pos_;
+        continue;
+      }
+      out->push_back(c);
+      ++pos_;
+    }
+    return Fail("unterminated string");
+  }
+
+  bool Word(const char* word) {
+    for (const char* p = word; *p != '\0'; ++p, ++pos_) {
+      if (pos_ >= text_.size() || text_[pos_] != *p) {
+        return Fail(std::string("invalid literal, expected ") + word);
+      }
+    }
+    return true;
+  }
+
+  bool Number(double* out) {
+    size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Fail("invalid value");
+    try {
+      *out = std::stod(text_.substr(start, pos_ - start));
+    } catch (...) {
+      return Fail("unparseable number");
+    }
+    return true;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+  std::string error_;
+};
+
+// ---------------------------------------------------------------------------
+// Comparison.
+
+struct Options {
+  double threshold_pct = 25.0;
+  double min_baseline_ms = 5.0;
+  bool update_baselines = false;
+  std::string baseline_dir;
+  std::string current_dir;
+};
+
+int Usage() {
+  std::cerr << "usage: bench_diff [--threshold PCT] [--min-baseline MS] "
+               "[--update-baselines] BASELINE_DIR CURRENT_DIR\n";
+  return 2;
+}
+
+bool ReadFile(const fs::path& path, std::string* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+std::string Lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+bool TimeLikeHeader(const std::string& header) {
+  std::string h = Lower(header);
+  return h.find("ms") != std::string::npos ||
+         h.find("time") != std::string::npos;
+}
+
+bool ParseCell(const std::string& cell, double* out) {
+  if (cell.empty() || cell == "-") return false;
+  char* end = nullptr;
+  *out = std::strtod(cell.c_str(), &end);
+  return end != cell.c_str();
+}
+
+/// headers + rows of one table, flattened out of the DOM; empty headers
+/// means the table node was malformed.
+struct FlatTable {
+  std::string id;  ///< "<experiment id>/<table index>"
+  std::vector<std::string> headers;
+  std::vector<std::vector<std::string>> rows;
+};
+
+std::vector<FlatTable> ExtractTables(const JsonValue& root) {
+  std::vector<FlatTable> tables;
+  const JsonValue* experiments = root.Find("experiments");
+  if (experiments == nullptr ||
+      experiments->kind != JsonValue::Kind::kArray) {
+    return tables;
+  }
+  for (const JsonValue& exp : experiments->items) {
+    const JsonValue* id = exp.Find("id");
+    const JsonValue* exp_tables = exp.Find("tables");
+    if (exp_tables == nullptr ||
+        exp_tables->kind != JsonValue::Kind::kArray) {
+      continue;
+    }
+    for (size_t t = 0; t < exp_tables->items.size(); ++t) {
+      const JsonValue& table = exp_tables->items[t];
+      FlatTable flat;
+      flat.id = (id != nullptr ? id->str : "") + "/" + std::to_string(t);
+      const JsonValue* headers = table.Find("headers");
+      const JsonValue* rows = table.Find("rows");
+      if (headers != nullptr) {
+        for (const JsonValue& h : headers->items) flat.headers.push_back(h.str);
+      }
+      if (rows != nullptr) {
+        for (const JsonValue& row : rows->items) {
+          std::vector<std::string> cells;
+          for (const JsonValue& cell : row.items) {
+            cells.push_back(cell.kind == JsonValue::Kind::kNumber
+                                ? std::to_string(cell.number)
+                                : cell.str);
+          }
+          flat.rows.push_back(std::move(cells));
+        }
+      }
+      tables.push_back(std::move(flat));
+    }
+  }
+  return tables;
+}
+
+/// Compares one bench file pair; returns the number of regressions and
+/// prints each. `checked` counts the time-cell comparisons actually made.
+size_t DiffFile(const std::string& name, const JsonValue& baseline,
+                const JsonValue& current, const Options& options,
+                size_t* checked) {
+  std::vector<FlatTable> base_tables = ExtractTables(baseline);
+  std::vector<FlatTable> cur_tables = ExtractTables(current);
+  size_t regressions = 0;
+
+  for (const FlatTable& cur : cur_tables) {
+    const FlatTable* base = nullptr;
+    for (const FlatTable& b : base_tables) {
+      if (b.id == cur.id && b.headers == cur.headers) {
+        base = &b;
+        break;
+      }
+    }
+    if (base == nullptr) {
+      std::cout << name << " " << cur.id
+                << ": no matching baseline table, skipped\n";
+      continue;
+    }
+    for (size_t c = 0; c < cur.headers.size(); ++c) {
+      if (!TimeLikeHeader(cur.headers[c])) continue;
+      size_t rows = std::min(cur.rows.size(), base->rows.size());
+      for (size_t r = 0; r < rows; ++r) {
+        const auto& cur_row = cur.rows[r];
+        const auto& base_row = base->rows[r];
+        // Positional match must agree on the label cell; a reshaped table
+        // is a skip, not a regression.
+        if (cur_row.empty() || base_row.empty() ||
+            cur_row[0] != base_row[0]) {
+          continue;
+        }
+        double cur_v = 0, base_v = 0;
+        if (c >= cur_row.size() || c >= base_row.size() ||
+            !ParseCell(cur_row[c], &cur_v) ||
+            !ParseCell(base_row[c], &base_v)) {
+          continue;
+        }
+        ++*checked;
+        if (std::max(cur_v, base_v) < options.min_baseline_ms) continue;
+        double limit = base_v * (1.0 + options.threshold_pct / 100.0);
+        if (cur_v > limit) {
+          ++regressions;
+          double pct = base_v > 0 ? (cur_v / base_v - 1.0) * 100.0 : 0;
+          std::printf(
+              "%s %s [%s] row \"%s\": %.3f -> %.3f ms (+%.0f%% > %.0f%%)\n",
+              name.c_str(), cur.id.c_str(), cur.headers[c].c_str(),
+              cur_row[0].c_str(), base_v, cur_v, pct, options.threshold_pct);
+        }
+      }
+    }
+  }
+  return regressions;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--threshold" && i + 1 < argc) {
+      options.threshold_pct = std::atof(argv[++i]);
+    } else if (arg == "--min-baseline" && i + 1 < argc) {
+      options.min_baseline_ms = std::atof(argv[++i]);
+    } else if (arg == "--update-baselines") {
+      options.update_baselines = true;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage();
+      return 0;
+    } else if (arg.size() > 1 && arg[0] == '-') {
+      std::cerr << "bench_diff: unknown option " << arg << "\n";
+      return Usage();
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (positional.size() != 2) return Usage();
+  options.baseline_dir = positional[0];
+  options.current_dir = positional[1];
+
+  std::error_code ec;
+  std::vector<fs::path> current_files;
+  for (const auto& entry :
+       fs::directory_iterator(options.current_dir, ec)) {
+    const std::string file = entry.path().filename().string();
+    if (file.rfind("BENCH_", 0) == 0 &&
+        file.size() > 5 && file.substr(file.size() - 5) == ".json") {
+      current_files.push_back(entry.path());
+    }
+  }
+  if (ec) {
+    std::cerr << "bench_diff: cannot read " << options.current_dir << ": "
+              << ec.message() << "\n";
+    return 2;
+  }
+  std::sort(current_files.begin(), current_files.end());
+  if (current_files.empty()) {
+    std::cerr << "bench_diff: no BENCH_*.json in " << options.current_dir
+              << "\n";
+    return 2;
+  }
+
+  if (options.update_baselines) {
+    fs::create_directories(options.baseline_dir, ec);
+    for (const fs::path& src : current_files) {
+      fs::path dst = fs::path(options.baseline_dir) / src.filename();
+      fs::copy_file(src, dst, fs::copy_options::overwrite_existing, ec);
+      if (ec) {
+        std::cerr << "bench_diff: cannot copy " << src << " -> " << dst
+                  << ": " << ec.message() << "\n";
+        return 2;
+      }
+      std::cout << "updated " << dst.string() << "\n";
+    }
+    return 0;
+  }
+
+  size_t regressions = 0;
+  size_t checked = 0;
+  for (const fs::path& cur_path : current_files) {
+    const std::string name = cur_path.filename().string();
+    fs::path base_path = fs::path(options.baseline_dir) / name;
+    std::string base_text, cur_text;
+    if (!ReadFile(base_path, &base_text)) {
+      std::cout << name << ": no baseline (run with --update-baselines to "
+                           "record one), skipped\n";
+      continue;
+    }
+    if (!ReadFile(cur_path, &cur_text)) {
+      std::cerr << "bench_diff: cannot read " << cur_path << "\n";
+      return 2;
+    }
+    JsonValue baseline, current;
+    std::string error;
+    if (!JsonParser(base_text).Parse(&baseline, &error)) {
+      std::cerr << "bench_diff: " << base_path.string() << ": " << error
+                << "\n";
+      return 2;
+    }
+    if (!JsonParser(cur_text).Parse(&current, &error)) {
+      std::cerr << "bench_diff: " << cur_path.string() << ": " << error
+                << "\n";
+      return 2;
+    }
+    regressions += DiffFile(name, baseline, current, options, &checked);
+  }
+
+  std::printf("bench_diff: %zu time cells checked, %zu regression%s "
+              "(threshold %.0f%%, floor %.1f ms)\n",
+              checked, regressions, regressions == 1 ? "" : "s",
+              options.threshold_pct, options.min_baseline_ms);
+  return regressions > 0 ? 1 : 0;
+}

@@ -13,8 +13,13 @@
 //                        in Perfetto / chrome://tracing).
 //   --metrics-json FILE  write the metrics registry as flat JSON.
 //   --metrics            print the metrics registry to stdout.
+//   --calibration-json FILE
+//                        with --analyze: write the per-query calibration
+//                        reports (per-node q-errors, aggregates, plan
+//                        regret) as a JSON array.
 //
-// Exit status: 0 success, 1 any query failed, 2 usage error.
+// Exit status: 0 success, 1 any query failed (parse, optimize, unsafe plan,
+// or execution error — details on stderr), 2 usage error.
 
 #include <fstream>
 #include <iostream>
@@ -34,6 +39,7 @@ struct CliOptions {
   bool print_metrics = false;
   std::string trace_json;
   std::string metrics_json;
+  std::string calibration_json;
   std::vector<std::string> queries;
   std::string file;
 };
@@ -41,7 +47,7 @@ struct CliOptions {
 int Usage() {
   std::cerr << "usage: ldl_profile [--analyze] [--query GOAL]... "
                "[--trace-json FILE] [--metrics-json FILE] [--metrics] "
-               "file.ldl | -\n";
+               "[--calibration-json FILE] file.ldl | -\n";
   return 2;
 }
 
@@ -76,6 +82,8 @@ int main(int argc, char** argv) {
       cli.trace_json = argv[++i];
     } else if (arg == "--metrics-json" && i + 1 < argc) {
       cli.metrics_json = argv[++i];
+    } else if (arg == "--calibration-json" && i + 1 < argc) {
+      cli.calibration_json = argv[++i];
     } else if (arg == "--help" || arg == "-h") {
       Usage();
       return 0;
@@ -90,6 +98,11 @@ int main(int argc, char** argv) {
     }
   }
   if (cli.file.empty()) return Usage();
+  if (!cli.calibration_json.empty() && !cli.analyze) {
+    std::cerr << "ldl_profile: --calibration-json requires --analyze "
+                 "(calibration pairs estimates with measured actuals)\n";
+    return 2;
+  }
 
   std::string text;
   if (!ReadInput(cli.file, &text)) {
@@ -124,6 +137,7 @@ int main(int argc, char** argv) {
   }
 
   bool failed = false;
+  std::vector<ldl::CalibrationReport> reports;
   for (const std::string& goal : goals) {
     std::cout << "== " << (cli.analyze ? "EXPLAIN ANALYZE " : "EXPLAIN ")
               << goal << "? ==\n";
@@ -136,15 +150,41 @@ int main(int argc, char** argv) {
       continue;
     }
     std::cout << *plan << "\n";
-    auto rendered =
-        cli.analyze ? sys.ExplainAnalyze(goal) : sys.ExplainTree(goal);
-    if (!rendered.ok()) {
-      std::cerr << "ldl_profile: " << goal << ": "
-                << rendered.status().ToString() << "\n";
-      failed = true;
-      continue;
+    if (cli.analyze) {
+      auto analyzed = sys.AnalyzeCalibrated(goal);
+      if (!analyzed.ok()) {
+        std::cerr << "ldl_profile: " << goal << ": "
+                  << analyzed.status().ToString() << "\n";
+        failed = true;
+        continue;
+      }
+      std::cout << analyzed->text << "\n";
+      reports.push_back(std::move(analyzed->report));
+    } else {
+      auto rendered = sys.ExplainTree(goal);
+      if (!rendered.ok()) {
+        std::cerr << "ldl_profile: " << goal << ": "
+                  << rendered.status().ToString() << "\n";
+        failed = true;
+        continue;
+      }
+      std::cout << *rendered << "\n";
     }
-    std::cout << *rendered << "\n";
+  }
+
+  if (!cli.calibration_json.empty()) {
+    std::ofstream out(cli.calibration_json);
+    if (!out) {
+      std::cerr << "ldl_profile: cannot write " << cli.calibration_json
+                << "\n";
+      return 1;
+    }
+    out << '[';
+    for (size_t i = 0; i < reports.size(); ++i) {
+      if (i) out << ',';
+      reports[i].WriteJson(out);
+    }
+    out << "]\n";
   }
 
   if (cli.print_metrics) std::cout << metrics.ToString();
