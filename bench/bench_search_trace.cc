@@ -1,0 +1,212 @@
+// Experiment E12 — cost of search introspection:
+//
+// The SearchTracer (obs/search_trace.h) records every candidate order the
+// join-order search visits plus the final memo lattice. Its contract is the
+// same as the span tracer's: a *disabled* tracer attached to the optimizer
+// must cost one predictable branch per candidate (no allocations — asserted
+// in tests/obs_test.cc), and an *enabled* tracer must stay under 5% of
+// optimization wall time wherever the search itself does real work: each
+// candidate's recording (a few arena appends, no strings) is tiny next to
+// the sequence costing that produced it.
+//
+// Three workload shapes stress different event mixes:
+//  - a bound chain join (one wide rule, branch-and-bound enumeration):
+//    costing-dominated, thousands of candidate events — the shape the <5%
+//    contract is about;
+//  - a layered nonrecursive program (many small rules, heavy NR-OPT
+//    memoization): adversarial, because most events are memo hits whose
+//    "search" is a hash lookup, and the per-subplan lattice bookkeeping is
+//    paid against trivially cheap two-literal order searches;
+//  - a recursive same-generation program (clique search, method race).
+// Each runs with no tracer, a disabled tracer, and an enabled tracer; we
+// report the best-of-N per-optimize wall time and the relative overhead.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "ast/parser.h"
+#include "base/strings.h"
+#include "bench_util.h"
+#include "obs/search_trace.h"
+#include "optimizer/optimizer.h"
+
+namespace ldl {
+namespace {
+
+using bench::Fmt;
+using bench::Stopwatch;
+using bench::Table;
+
+struct Workload {
+  std::string name;
+  Program program;
+  Statistics stats;
+  Literal goal;
+  size_t loop = 10;  ///< optimizes per timing sample (fewer for slow ones)
+};
+
+/// Bound chain join over `n` base relations: a single wide rule, so the
+/// whole optimize is one exhaustive branch-and-bound enumeration. Costing
+/// dominates; candidate recording rides along one event per cost step.
+Workload MakeChain(size_t n) {
+  Workload w;
+  w.name = StrCat("chain join ", n);
+  std::string text = StrCat("q(X0, X", n, ") <- ");
+  for (size_t i = 1; i <= n; ++i) {
+    text += StrCat("r", i, "(X", i - 1, ", X", i, ")",
+                   i == n ? ".\n" : ", ");
+    w.stats.Set({StrCat("r", i), 2},
+                {500.0 + 700.0 * static_cast<double>((i * 3) % 5),
+                 {90.0 + 40.0 * static_cast<double>(i % 4), 110.0}});
+  }
+  w.program = *ParseProgram(text);
+  w.goal = Literal::Make("q", {Term::MakeInt(1), Term::MakeVariable("Z")});
+  w.loop = 3;  // ~10 ms per optimize
+  return w;
+}
+
+/// Layered nonrecursive join program: `layers` layers of `width` predicates,
+/// each joining two predicates of the layer below (same shape as E6).
+Workload MakeLayered(size_t layers, size_t width) {
+  std::string text;
+  for (size_t l = 1; l <= layers; ++l) {
+    for (size_t p = 0; p < width; ++p) {
+      std::string below1 = (l == 1 ? "base" : "p") + std::to_string(l - 1) +
+                           "_" + std::to_string(p % width);
+      std::string below2 = (l == 1 ? "base" : "p") + std::to_string(l - 1) +
+                           "_" + std::to_string((p + 1) % width);
+      text += StrCat("p", l, "_", p, "(X, Z) <- ", below1, "(X, Y), ",
+                     below2, "(Y, Z).\n");
+    }
+  }
+  Workload w;
+  w.name = StrCat("layered ", layers, "x", width);
+  w.program = *ParseProgram(text);
+  for (size_t p = 0; p < width; ++p) {
+    w.stats.Set({StrCat("base0_", p), 2},
+                {1000.0 + 100.0 * static_cast<double>(p), {100.0, 100.0}});
+  }
+  w.goal = Literal::Make(StrCat("p", layers, "_0"),
+                         {Term::MakeVariable("X"), Term::MakeVariable("Z")});
+  return w;
+}
+
+/// Recursive same-generation clique with flat relatives: clique search,
+/// SIP orders, and the recursive-method cost race.
+Workload MakeSameGeneration() {
+  Workload w;
+  w.name = "sg recursive";
+  w.program = *ParseProgram(R"(
+    sg(X, Y) <- flat(X, Y).
+    sg(X, Y) <- up(X, U), sg(U, V), down(V, Y).
+  )");
+  w.stats.Set({"flat", 2}, {500.0, {120.0, 120.0}});
+  w.stats.Set({"up", 2}, {2000.0, {400.0, 300.0}});
+  w.stats.Set({"down", 2}, {2000.0, {300.0, 400.0}});
+  w.goal = Literal::Make("sg", {Term::MakeInt(1), Term::MakeVariable("Y")});
+  return w;
+}
+
+enum class TracerMode { kNone, kDisabled, kEnabled };
+
+const char* TracerModeName(TracerMode mode) {
+  switch (mode) {
+    case TracerMode::kNone: return "none";
+    case TracerMode::kDisabled: return "disabled";
+    case TracerMode::kEnabled: return "enabled";
+  }
+  return "?";
+}
+
+/// Minimum per-optimize wall ms over `kSamples` samples of `w.loop`
+/// optimizes each (the minimum is the standard noise-robust estimator for
+/// overhead comparisons: background load only ever adds time); also
+/// reports the candidate count of one traced run.
+double MeasureMs(const Workload& w, TracerMode mode, size_t* candidates) {
+  constexpr size_t kSamples = 21;
+  SearchTracer tracer;
+  tracer.set_enabled(mode == TracerMode::kEnabled);
+  std::vector<double> ms;
+  ms.reserve(kSamples);
+  for (size_t s = 0; s < kSamples; ++s) {
+    Stopwatch watch;
+    for (size_t i = 0; i < w.loop; ++i) {
+      if (mode == TracerMode::kEnabled) tracer.Clear();
+      OptimizerOptions options;
+      if (mode != TracerMode::kNone) options.trace.search = &tracer;
+      Optimizer opt(w.program, w.stats, options);
+      benchmark::DoNotOptimize(opt.Optimize(w.goal));
+    }
+    ms.push_back(watch.ElapsedMs() / static_cast<double>(w.loop));
+  }
+  if (candidates != nullptr) {
+    *candidates = mode == TracerMode::kEnabled ? tracer.candidates().size() : 0;
+  }
+  return *std::min_element(ms.begin(), ms.end());
+}
+
+}  // namespace
+
+void PrintExperiment() {
+  bench::Banner("E12", "search-trace overhead: optimize wall time with no "
+                       "tracer, a disabled tracer, and full recording");
+  Table table({"workload", "tracer", "ms/optimize", "overhead %",
+               "candidates"});
+  for (const Workload& w : {MakeChain(8), MakeLayered(4, 3),
+                            MakeSameGeneration()}) {
+    double base_ms = 0;
+    for (TracerMode mode : {TracerMode::kNone, TracerMode::kDisabled,
+                            TracerMode::kEnabled}) {
+      size_t candidates = 0;
+      double ms = MeasureMs(w, mode, &candidates);
+      if (mode == TracerMode::kNone) base_ms = ms;
+      double overhead =
+          base_ms > 0 ? (ms / base_ms - 1.0) * 100.0 : 0.0;
+      table.AddRow({StrCat(w.name, " / ", TracerModeName(mode)),
+                    TracerModeName(mode), Fmt(ms, "%.4f"),
+                    mode == TracerMode::kNone ? "-" : Fmt(overhead, "%.1f"),
+                    mode == TracerMode::kEnabled ? std::to_string(candidates)
+                                                 : "-"});
+    }
+  }
+  table.Print();
+  std::printf(
+      "Expected shape: the disabled rows sit inside measurement noise of\n"
+      "the none rows (the contract is one branch per candidate), and every\n"
+      "enabled row stays under 5%% — recording a candidate is a couple of\n"
+      "arena appends next to the costing that produced it. The layered row\n"
+      "is the adversarial bound: nearly all its events are memo hits whose\n"
+      "uninstrumented cost is a single hash lookup, which is why that path\n"
+      "records a prememoized node index instead of building a key string.\n\n");
+}
+
+namespace {
+
+void BM_OptimizeWithTracer(benchmark::State& state) {
+  TracerMode mode = static_cast<TracerMode>(state.range(0));
+  Workload w = MakeLayered(3, 3);
+  SearchTracer tracer;
+  tracer.set_enabled(mode == TracerMode::kEnabled);
+  for (auto _ : state) {
+    if (mode == TracerMode::kEnabled) tracer.Clear();
+    OptimizerOptions options;
+    if (mode != TracerMode::kNone) options.trace.search = &tracer;
+    Optimizer opt(w.program, w.stats, options);
+    benchmark::DoNotOptimize(opt.Optimize(w.goal));
+  }
+  state.SetLabel(TracerModeName(mode));
+}
+BENCHMARK(BM_OptimizeWithTracer)->Arg(0)->Arg(1)->Arg(2);
+
+}  // namespace
+}  // namespace ldl
+
+int main(int argc, char** argv) {
+  ldl::PrintExperiment();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  ldl::bench::FlushJson("search_trace");
+  return 0;
+}

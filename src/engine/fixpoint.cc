@@ -1,6 +1,7 @@
 #include "engine/fixpoint.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "base/strings.h"
 #include "graph/dependency_graph.h"
@@ -29,6 +30,22 @@ void FixpointStats::ExportTo(MetricsRegistry* metrics) const {
   if (metrics == nullptr) return;
   metrics->counter("engine.fixpoint.iterations")->Increment(iterations);
   counters.ExportTo(metrics);
+}
+
+void FixpointStats::WriteIterationsJson(std::ostream& os) const {
+  os << "[";
+  for (size_t i = 0; i < per_iteration.size(); ++i) {
+    const FixpointIteration& it = per_iteration[i];
+    if (i > 0) os << ",";
+    os << "\n  {\"clique\": \"" << JsonEscape(it.clique)
+       << "\", \"method\": \"" << JsonEscape(it.method)
+       << "\", \"iteration\": " << it.iteration
+       << ", \"delta_tuples\": " << it.delta_tuples
+       << ", \"derivations\": " << it.derivations
+       << ", \"wall_ms\": " << it.wall_ms << "}";
+  }
+  if (!per_iteration.empty()) os << "\n";
+  os << "]\n";
 }
 
 namespace {
@@ -84,6 +101,32 @@ class ProgramEvaluator {
     return opts;
   }
 
+  /// The method name to stamp on recorded iterations: the caller's label
+  /// (e.g. "magic" for a rewritten program running semi-naive) when given,
+  /// else the raw fixpoint discipline.
+  std::string_view MethodLabel(std::string_view discipline) const {
+    return options_.method_label.empty()
+               ? discipline
+               : std::string_view(options_.method_label);
+  }
+
+  void RecordIteration(const PredicateId& clique_rep,
+                       std::string_view method, size_t round, size_t delta,
+                       size_t derivations, double wall_ms) {
+    FixpointIteration it;
+    it.clique = clique_rep.ToString();
+    it.method = std::string(method);
+    it.iteration = round;
+    it.delta_tuples = delta;
+    it.derivations = derivations;
+    it.wall_ms = wall_ms;
+    stats_->per_iteration.push_back(std::move(it));
+    if (options_.trace.metrics != nullptr) {
+      options_.trace.Observe(StrCat("engine.fixpoint.iteration_ms.", method),
+                             wall_ms);
+    }
+  }
+
   // Non-recursive predicate: fire each of its rules once.
   Status EvaluateOnce(const PredicateId& pred) {
     Span span = options_.trace.StartSpan("eval-once", "engine");
@@ -121,6 +164,11 @@ class ProgramEvaluator {
                    " iterations for ", clique.ToString()));
       }
       stats_->iterations++;
+      const size_t deriv_before = stats_->counters.derivations;
+      std::chrono::steady_clock::time_point round_start;
+      if (options_.record_iterations) {
+        round_start = std::chrono::steady_clock::now();
+      }
       // Round-based: evaluate all rules into per-predicate temporaries,
       // then merge, so each round sees exactly the previous round's state.
       std::unordered_map<PredicateId, Relation, PredicateIdHash> temp;
@@ -140,6 +188,15 @@ class ProgramEvaluator {
       options_.trace.Count("engine.fixpoint.rounds");
       options_.trace.Observe("engine.fixpoint.delta_tuples",
                              static_cast<double>(added));
+      if (options_.record_iterations) {
+        // Every naive round does full-rule work, including the final
+        // added == 0 convergence round — record them all.
+        RecordIteration(members[0], MethodLabel("naive"), round, added,
+                        stats_->counters.derivations - deriv_before,
+                        std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - round_start)
+                            .count());
+      }
       if (added == 0) break;
     }
     if (span.active()) span.AddArg("rounds", std::to_string(round));
@@ -196,6 +253,13 @@ class ProgramEvaluator {
           members.begin(), members.end(),
           [&delta](const PredicateId& p) { return !delta.at(p).empty(); });
       if (!any_delta) break;
+      // Work rounds only: the final empty-delta round breaks above without
+      // firing a rule, so per_iteration holds iterations - 1 entries.
+      const size_t deriv_before = stats_->counters.derivations;
+      std::chrono::steady_clock::time_point round_start;
+      if (options_.record_iterations) {
+        round_start = std::chrono::steady_clock::now();
+      }
 
       std::unordered_map<PredicateId, Relation, PredicateIdHash> new_delta;
       for (const PredicateId& pred : members) {
@@ -227,12 +291,19 @@ class ProgramEvaluator {
         }
       }
       delta = std::move(new_delta);
-      if (options_.trace.metrics != nullptr) {
+      if (options_.trace.metrics != nullptr || options_.record_iterations) {
         size_t added = 0;
         for (const PredicateId& pred : members) added += delta.at(pred).size();
         options_.trace.Count("engine.fixpoint.rounds");
         options_.trace.Observe("engine.fixpoint.delta_tuples",
                                static_cast<double>(added));
+        if (options_.record_iterations) {
+          RecordIteration(members[0], MethodLabel("seminaive"), round, added,
+                          stats_->counters.derivations - deriv_before,
+                          std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() - round_start)
+                              .count());
+        }
       }
     }
     if (span.active()) span.AddArg("rounds", std::to_string(round));
@@ -266,6 +337,9 @@ Status EvaluateProgram(const Program& program, RecursionMethod method,
   if (stats != nullptr) {
     stats->iterations += local.iterations;
     stats->counters.Add(local.counters);
+    for (FixpointIteration& it : local.per_iteration) {
+      stats->per_iteration.push_back(std::move(it));
+    }
   }
   return st;
 }

@@ -1,6 +1,7 @@
 #ifndef LDLOPT_ENGINE_FIXPOINT_H_
 #define LDLOPT_ENGINE_FIXPOINT_H_
 
+#include <ostream>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -38,17 +39,46 @@ struct FixpointOptions {
   /// Observability handle: spans per clique fixpoint, per-round counters
   /// and delta-size histograms. Inert by default.
   TraceContext trace;
+  /// Record a FixpointIteration per round into FixpointStats::per_iteration
+  /// (with wall-clock timing; off by default because clock reads per round
+  /// are not free).
+  bool record_iterations = false;
+  /// Label stamped on recorded iterations: the overall recursion method as
+  /// the caller sees it ("magic"/"counting" run semi-naive after their
+  /// rewrite, and the rewritten rounds should be attributed to the method,
+  /// not the machinery). Empty = use the raw fixpoint discipline.
+  std::string method_label;
+};
+
+/// One fixpoint round of one clique — the convergence curve of the chosen
+/// RecursionMethod (delta cardinality per round is the quantity the
+/// semi-naive argument is about).
+struct FixpointIteration {
+  std::string clique;      ///< representative member, e.g. "anc/2"
+  std::string method;      ///< method label ("naive", "seminaive", ...)
+  size_t iteration = 0;    ///< 1-based round number within the clique
+  size_t delta_tuples = 0;  ///< new tuples this round (0 = convergence round)
+  size_t derivations = 0;  ///< head tuples produced this round (pre-dedup)
+  double wall_ms = 0;
 };
 
 struct FixpointStats {
   size_t iterations = 0;  ///< total fixpoint rounds across all cliques
   EvalCounters counters;
+  /// Per-round telemetry, only populated when
+  /// FixpointOptions::record_iterations is set.
+  std::vector<FixpointIteration> per_iteration;
 
   std::string ToString() const;
 
   /// Adds the stats into the registry (engine.fixpoint.iterations plus the
   /// EvalCounters engine.* names). No-op on nullptr.
   void ExportTo(MetricsRegistry* metrics) const;
+
+  /// JSON array of the per-round telemetry:
+  /// [{"clique","method","iteration","delta_tuples","derivations",
+  ///   "wall_ms"}, ...].
+  void WriteIterationsJson(std::ostream& os) const;
 };
 
 /// Evaluates every derived predicate of `program` bottom-up into `scratch`.

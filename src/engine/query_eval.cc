@@ -87,6 +87,7 @@ Result<QueryResult> EvaluateFull(const Program& program, Database* base,
   // options.fixpoint.rule_orders is keyed by indices into the *original*
   // program; remap to the subprogram's indices.
   FixpointOptions fixpoint = options.fixpoint;
+  fixpoint.method_label = RecursionMethodToString(method);
   fixpoint.rule_orders.clear();
   for (size_t sub_index = 0; sub_index < index_map.size(); ++sub_index) {
     auto it = options.fixpoint.rule_orders.find(index_map[sub_index]);
@@ -124,6 +125,8 @@ Result<QueryResult> EvaluateMagic(const Program& program, Database* base,
   // rule_orders keyed by original-program indices must not leak through.
   FixpointOptions fixpoint = options.fixpoint;
   fixpoint.rule_orders.clear();
+  // The rewritten program runs semi-naive, but the rounds belong to magic.
+  fixpoint.method_label = "magic";
   LDL_RETURN_NOT_OK(EvaluateProgram(magic.rewritten,
                                     RecursionMethod::kSemiNaive, base,
                                     &scratch, &result.stats, fixpoint));
@@ -159,6 +162,7 @@ Result<QueryResult> EvaluateCounting(const Program& program, Database* base,
   Database scratch;
   FixpointOptions fixpoint = options.fixpoint;
   fixpoint.rule_orders.clear();
+  fixpoint.method_label = "counting";
   Status st = EvaluateProgram(counting.rewritten, RecursionMethod::kSemiNaive,
                               base, &scratch, &result.stats, fixpoint);
   if (!st.ok()) {

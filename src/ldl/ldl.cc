@@ -1,6 +1,7 @@
 #include "ldl/ldl.h"
 
 #include "base/strings.h"
+#include "obs/search_trace.h"
 #include "optimizer/project_pushdown.h"
 #include "plan/explain.h"
 #include "plan/interpreter.h"
@@ -97,6 +98,7 @@ Result<QueryAnswer> LdlSystem::Query(const Literal& goal) {
 
   QueryEvalOptions eval_options;
   eval_options.fixpoint.trace = options_.trace;
+  eval_options.fixpoint.record_iterations = options_.record_fixpoint_iterations;
   eval_options.sips = plan.sips;
   eval_options.fixpoint.rule_orders.insert(plan.rule_orders.begin(),
                                            plan.rule_orders.end());
@@ -119,6 +121,20 @@ Result<std::string> LdlSystem::Explain(std::string_view goal_text) {
   Optimizer optimizer(working, stats_, options_);
   LDL_ASSIGN_OR_RETURN(QueryPlan plan, optimizer.Optimize(goal));
   return plan.Explain(working);
+}
+
+Result<std::string> LdlSystem::ExplainOptimize(std::string_view goal_text) {
+  LDL_ASSIGN_OR_RETURN(Literal goal, ParseLiteral(goal_text));
+  if (stats_dirty_) RefreshStatistics();
+  LDL_ASSIGN_OR_RETURN(Program working, EffectiveProgram(goal));
+  SearchTracer local;
+  OptimizerOptions opts = options_;
+  if (opts.trace.search == nullptr) opts.trace.search = &local;
+  Optimizer optimizer(working, stats_, opts);
+  LDL_ASSIGN_OR_RETURN(QueryPlan plan, optimizer.Optimize(goal));
+  std::string out = plan.Explain(working);
+  StrAppend(&out, "\n", RenderExplainOptimize(*opts.trace.search));
+  return out;
 }
 
 Result<std::string> LdlSystem::ExplainTree(std::string_view goal_text) {

@@ -76,6 +76,14 @@ class LdlSystem {
   /// Human-readable optimized plan.
   Result<std::string> Explain(std::string_view goal_text);
 
+  /// EXPLAIN OPTIMIZE: the plan summary followed by the search that chose
+  /// it — per-scope candidate orders with dispositions (kept / dominated /
+  /// pruned-bound / pruned-unsafe / memo-hit) and the final
+  /// (predicate, adornment) memo lattice with the winning subplans marked
+  /// (plan/explain.h). Uses the SearchTracer in options.trace.search when
+  /// set (recording into it as-is), else a local one.
+  Result<std::string> ExplainOptimize(std::string_view goal_text);
+
   /// The annotated processing tree (paper section 4 view): AND/OR/CC nodes
   /// with materialize/pipeline flags, method labels, chosen orders, and
   /// cost/cardinality estimates.

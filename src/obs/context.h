@@ -10,13 +10,19 @@
 
 namespace ldl {
 
+class SearchTracer;  // obs/search_trace.h
+
 /// The observability handle threaded through the optimizer and the engine.
-/// Both pointers are optional and non-owning; a default-constructed context
+/// All pointers are optional and non-owning; a default-constructed context
 /// is inert and costs one branch per instrumentation site, so it can be
 /// carried through hot paths unconditionally.
 struct TraceContext {
   Tracer* tracer = nullptr;
   MetricsRegistry* metrics = nullptr;
+  /// Search introspection (obs/search_trace.h): candidate orders, memo
+  /// lattice, per-clique method races. Consulted only by the optimizer;
+  /// sites must check both non-null and enabled() before building labels.
+  SearchTracer* search = nullptr;
 
   bool active() const { return tracer != nullptr || metrics != nullptr; }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/search_trace.h"
 #include "optimizer/kbz.h"
 
 namespace ldl {
@@ -31,6 +32,11 @@ std::vector<size_t> IdentityOrder(size_t n) {
   return order;
 }
 
+/// Collapses the null/disabled cases so strategies test one pointer.
+SearchTracer* Active(SearchTracer* trace) {
+  return (trace != nullptr && trace->enabled()) ? trace : nullptr;
+}
+
 /// Prolog's control: take the body exactly as written. The paper's
 /// motivating baseline ("it is up to the programmer to make sure this order
 /// leads to a safe and efficient execution").
@@ -39,8 +45,8 @@ class LexicographicStrategy : public JoinOrderStrategy {
   std::string name() const override { return "lexicographic"; }
 
   OrderResult FindOrder(const std::vector<ConjunctItem>& items,
-                        const BoundVars& initial,
-                        const CostModel& model) override {
+                        const BoundVars& initial, const CostModel& model,
+                        SearchTracer* trace) override {
     OrderResult result;
     result.order = IdentityOrder(items.size());
     SequenceCost sc = model.CostSequence(items, result.order, initial);
@@ -48,6 +54,12 @@ class LexicographicStrategy : public JoinOrderStrategy {
     result.out_card = sc.out_card;
     result.safe = sc.safe;
     result.cost_evaluations = 1;
+    if (SearchTracer* st = Active(trace)) {
+      st->RecordCandidate(result.order, sc.cost,
+                          sc.safe ? CandidateDisposition::kKept
+                                  : CandidateDisposition::kPrunedUnsafe,
+                          "textual order");
+    }
     return result;
   }
 };
@@ -65,8 +77,8 @@ class ExhaustiveStrategy : public JoinOrderStrategy {
   std::string name() const override { return "exhaustive"; }
 
   OrderResult FindOrder(const std::vector<ConjunctItem>& items,
-                        const BoundVars& initial,
-                        const CostModel& model) override {
+                        const BoundVars& initial, const CostModel& model,
+                        SearchTracer* trace) override {
     // All search state is local: FindOrder re-enters itself whenever a
     // derived item's estimate recursively optimizes a subquery.
     OrderResult result;
@@ -74,25 +86,32 @@ class ExhaustiveStrategy : public JoinOrderStrategy {
       // Too large: defer to DP (the caller picked the wrong strategy, but
       // degrade gracefully rather than running for hours).
       auto dp = MakeStrategy(SearchStrategy::kDynamicProgramming, options_);
-      return dp->FindOrder(items, initial, model);
+      return dp->FindOrder(items, initial, model, trace);
     }
     std::vector<size_t> remaining = IdentityOrder(items.size());
     std::vector<size_t> prefix;
     StepState state;
     state.bound = initial;
-    Recurse(items, model, &remaining, &prefix, state, &result);
+    Recurse(items, model, Active(trace), &remaining, &prefix, state, &result);
     return result;
   }
 
  private:
   void Recurse(const std::vector<ConjunctItem>& items, const CostModel& model,
-               std::vector<size_t>* remaining, std::vector<size_t>* prefix,
-               const StepState& state, OrderResult* result) {
+               SearchTracer* trace, std::vector<size_t>* remaining,
+               std::vector<size_t>* prefix, const StepState& state,
+               OrderResult* result) {
     if (remaining->empty()) {
       double total =
           state.cost + state.card * model.options().output_cost;
       result->cost_evaluations++;
-      if (total < result->cost) {
+      const bool improved = total < result->cost;
+      if (trace != nullptr) {
+        trace->RecordCandidate(*prefix, total,
+                               improved ? CandidateDisposition::kKept
+                                        : CandidateDisposition::kDominated);
+      }
+      if (improved) {
         result->cost = total;
         result->out_card = state.card;
         result->order = *prefix;
@@ -105,10 +124,18 @@ class ExhaustiveStrategy : public JoinOrderStrategy {
       StepState next = state;
       model.ApplyStep(items[item], &next);
       result->cost_evaluations++;
-      if (!next.safe || next.cost >= result->cost) continue;  // prune
+      if (!next.safe || next.cost >= result->cost) {  // prune this prefix
+        if (trace != nullptr) {
+          trace->RecordCandidateStep(
+              *prefix, item, next.cost,
+              next.safe ? CandidateDisposition::kPrunedBound
+                        : CandidateDisposition::kPrunedUnsafe);
+        }
+        continue;
+      }
       remaining->erase(remaining->begin() + i);
       prefix->push_back(item);
-      Recurse(items, model, remaining, prefix, next, result);
+      Recurse(items, model, trace, remaining, prefix, next, result);
       prefix->pop_back();
       remaining->insert(remaining->begin() + i, item);
     }
@@ -128,14 +155,15 @@ class DpStrategy : public JoinOrderStrategy {
   std::string name() const override { return "dp"; }
 
   OrderResult FindOrder(const std::vector<ConjunctItem>& items,
-                        const BoundVars& initial,
-                        const CostModel& model) override {
+                        const BoundVars& initial, const CostModel& model,
+                        SearchTracer* trace) override {
     OrderResult result;
     const size_t n = items.size();
     if (n > options_.dp_limit) {
       auto sa = MakeStrategy(SearchStrategy::kAnnealing, options_);
-      return sa->FindOrder(items, initial, model);
+      return sa->FindOrder(items, initial, model, trace);
     }
+    SearchTracer* st = Active(trace);
     struct Entry {
       double cost = kInfiniteCost;
       double card = 0;
@@ -168,6 +196,16 @@ class DpStrategy : public JoinOrderStrategy {
     table[0].cost = 0;
     table[0].card = 1;
     table[0].reached = true;
+    // Left-deep prefix of a reached subset, via the prev-chain (tracing
+    // only: O(n) per recorded candidate).
+    auto chain_of = [&table](uint32_t mask) {
+      std::vector<size_t> reversed;
+      while (mask != 0) {
+        reversed.push_back(static_cast<size_t>(table[mask].last));
+        mask = table[mask].prev;
+      }
+      return std::vector<size_t>(reversed.rbegin(), reversed.rend());
+    };
     size_t evals = 0;
     for (uint32_t mask = 0; mask < table.size(); ++mask) {
       if (!table[mask].reached || table[mask].cost >= kInfiniteCost) continue;
@@ -182,12 +220,18 @@ class DpStrategy : public JoinOrderStrategy {
         state.domains = domains;
         model.ApplyStep(items[i], &state);
         ++evals;
-        if (!state.safe) continue;
         uint32_t next = mask | (1u << i);
-        if (state.cost < table[next].cost) {
-          table[next] = {state.cost, state.card, static_cast<int>(i), mask,
-                         true};
+        const bool improved = state.safe && state.cost < table[next].cost;
+        if (st != nullptr) {
+          st->RecordCandidateStep(
+              chain_of(mask), i, state.cost,
+              !state.safe ? CandidateDisposition::kPrunedUnsafe
+              : improved  ? CandidateDisposition::kKept
+                          : CandidateDisposition::kDominated);
         }
+        if (!improved) continue;
+        table[next] = {state.cost, state.card, static_cast<int>(i), mask,
+                       true};
       }
     }
     const uint32_t full = static_cast<uint32_t>(table.size() - 1);
@@ -226,10 +270,11 @@ class AnnealingStrategy : public JoinOrderStrategy {
   std::string name() const override { return "annealing"; }
 
   OrderResult FindOrder(const std::vector<ConjunctItem>& items,
-                        const BoundVars& initial,
-                        const CostModel& model) override {
+                        const BoundVars& initial, const CostModel& model,
+                        SearchTracer* trace) override {
     OrderResult result;
     const size_t n = items.size();
+    SearchTracer* st = Active(trace);
     Rng rng(options_.anneal_seed + n * 7919);
     std::vector<size_t> current = IdentityOrder(n);
     size_t evals = 0;
@@ -241,12 +286,21 @@ class AnnealingStrategy : public JoinOrderStrategy {
     // If the textual order is unsafe, scan for a safe starting point.
     size_t tries = 0;
     while (!cur_cost.safe && tries++ < 4 * n * n) {
+      if (st != nullptr) {
+        st->RecordCandidate(current, cur_cost.cost,
+                            CandidateDisposition::kPrunedUnsafe,
+                            "restart: unsafe start");
+      }
       rng.Shuffle(&current);
       cur_cost = cost_of(current);
     }
     if (!cur_cost.safe) {
       result.cost_evaluations = evals;
       return result;  // no safe order found to start from
+    }
+    if (st != nullptr) {
+      st->RecordCandidate(current, cur_cost.cost,
+                          CandidateDisposition::kKept, "starting point");
     }
     std::vector<size_t> best = current;
     SequenceCost best_cost = cur_cost;
@@ -273,6 +327,16 @@ class AnnealingStrategy : public JoinOrderStrategy {
             double delta = cand.cost - cur_cost.cost;
             accept = rng.UniformDouble() < std::exp(-delta / temp);
           }
+        }
+        if (st != nullptr) {
+          // New global best = kept; other accepted or metropolis-rejected
+          // moves lose on cost; unsafe neighbors are section 8.2 prunes.
+          st->RecordCandidate(current, cand.cost,
+                              !cand.safe ? CandidateDisposition::kPrunedUnsafe
+                              : accept && cand.cost < best_cost.cost
+                                  ? CandidateDisposition::kKept
+                              : accept ? CandidateDisposition::kDominated
+                                       : CandidateDisposition::kPrunedBound);
         }
         if (accept) {
           cur_cost = cand;

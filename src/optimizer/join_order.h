@@ -11,6 +11,8 @@
 
 namespace ldl {
 
+class SearchTracer;  // obs/search_trace.h
+
 /// The generic search strategies of the paper's section 7.1. All of them
 /// minimize the same cost function over permutations of a conjunct; they
 /// trade optimality guarantees against running time, and the optimizer can
@@ -61,9 +63,21 @@ class JoinOrderStrategy {
   /// variables in `initial`. When every order is unsafe the result has
   /// safe=false and infinite cost — the caller reports the query unsafe
   /// (section 8.2).
+  ///
+  /// When `trace` is non-null and enabled, every candidate the search
+  /// visits — complete orders, abandoned prefixes, rejected moves — is
+  /// recorded with its disposition (obs/search_trace.h). A null or
+  /// disabled tracer costs one branch per candidate.
   virtual OrderResult FindOrder(const std::vector<ConjunctItem>& items,
                                 const BoundVars& initial,
-                                const CostModel& model) = 0;
+                                const CostModel& model,
+                                SearchTracer* trace) = 0;
+
+  /// Untraced convenience overload.
+  OrderResult FindOrder(const std::vector<ConjunctItem>& items,
+                        const BoundVars& initial, const CostModel& model) {
+    return FindOrder(items, initial, model, nullptr);
+  }
 };
 
 /// Creates the strategy implementation for `strategy`.

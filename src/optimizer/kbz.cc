@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "engine/builtins.h"
+#include "obs/search_trace.h"
 
 namespace ldl {
 
@@ -61,9 +62,11 @@ class KbzStrategy : public JoinOrderStrategy {
   std::string name() const override { return "kbz"; }
 
   OrderResult FindOrder(const std::vector<ConjunctItem>& items,
-                        const BoundVars& initial,
-                        const CostModel& model) override {
+                        const BoundVars& initial, const CostModel& model,
+                        SearchTracer* trace) override {
     OrderResult best;
+    SearchTracer* st =
+        (trace != nullptr && trace->enabled()) ? trace : nullptr;
 
     // Partition: relations participate in the query graph; builtins and
     // negated literals are re-inserted greedily later.
@@ -82,6 +85,12 @@ class KbzStrategy : public JoinOrderStrategy {
       std::vector<size_t> order = GreedyComplete({}, other_idx, items,
                                                  initial);
       SequenceCost sc = model.CostSequence(items, order, initial);
+      if (st != nullptr) {
+        st->RecordCandidate(order, sc.cost,
+                            sc.safe ? CandidateDisposition::kKept
+                                    : CandidateDisposition::kPrunedUnsafe,
+                            "pure-builtin conjunct");
+      }
       best.order = order;
       best.cost = sc.cost;
       best.out_card = sc.out_card;
@@ -173,7 +182,15 @@ class KbzStrategy : public JoinOrderStrategy {
           GreedyComplete(mapped, other_idx, items, initial);
       SequenceCost sc = model.CostSequence(items, order, initial);
       ++evals;
-      if (sc.safe && sc.cost < best.cost) {
+      const bool improved = sc.safe && sc.cost < best.cost;
+      if (st != nullptr) {
+        // One ASI-ranked candidate per root of the spanning tree.
+        st->RecordCandidate(order, sc.cost,
+                            !sc.safe   ? CandidateDisposition::kPrunedUnsafe
+                            : improved ? CandidateDisposition::kKept
+                                       : CandidateDisposition::kDominated);
+      }
+      if (improved) {
         best.order = order;
         best.cost = sc.cost;
         best.out_card = sc.out_card;

@@ -9,6 +9,7 @@
 #include "analysis/plan_verifier.h"
 #include "base/strings.h"
 #include "engine/counting.h"
+#include "obs/search_trace.h"
 #include "safety/safety.h"
 
 namespace ldl {
@@ -50,15 +51,43 @@ Optimizer::Optimizer(const Program& program, const Statistics& stats,
       model_(options_.cost),
       strategy_(MakeStrategy(options_.strategy, options_.strategy_options)) {}
 
+SearchTracer* Optimizer::Tracing() const {
+  SearchTracer* st = options_.trace.search;
+  return (st != nullptr && st->enabled()) ? st : nullptr;
+}
+
+void Optimizer::TraceMemoNode(std::string_view key,
+                              const AdornedPredicate& ap, Subplan* sub) {
+  SearchTracer* st = Tracing();
+  if (st == nullptr) return;
+  const uint32_t node = st->InternMemoNode(key);
+  st->SetMemoNode(node, sub->est.setup + sub->est.per_binding, sub->est.card,
+                  sub->est.safe,
+                  graph_.CliqueIndex(ap.pred) >= 0
+                      ? RecursionMethodToString(sub->method)
+                      : std::string_view(),
+                  sub->note);
+  for (const AdornedPredicate& child : sub->children) {
+    st->AddMemoEdge(node, st->InternMemoNode(child.ToString()));
+  }
+  // Remembered in the memoized subplan so later hits on this entry can
+  // record against the node index without rebuilding the key string.
+  sub->trace_node = node;
+  sub->trace_gen = st->generation();
+}
+
 OrderResult Optimizer::TimedFindOrder(const std::vector<ConjunctItem>& items,
                                       const BoundVars& initial) {
+  // The search tracer rides along either way; only the clock reads are
+  // gated on the span/metrics context.
   if (!options_.trace.active()) {
-    return strategy_->FindOrder(items, initial, model_);
+    return strategy_->FindOrder(items, initial, model_, options_.trace.search);
   }
   // Per-strategy wall time: one histogram per strategy name, so mixed-
   // strategy experiments can compare effort directly.
   auto start = std::chrono::steady_clock::now();
-  OrderResult result = strategy_->FindOrder(items, initial, model_);
+  OrderResult result =
+      strategy_->FindOrder(items, initial, model_, options_.trace.search);
   double ms = std::chrono::duration<double, std::milli>(
                   std::chrono::steady_clock::now() - start)
                   .count();
@@ -132,11 +161,30 @@ Optimizer::Subplan Optimizer::OptimizePredicate(const AdornedPredicate& ap) {
     auto it = memo_.find(ap);
     if (it != memo_.end()) {
       search_stats_.memo_hits++;
+      if (SearchTracer* st = Tracing()) {
+        const Subplan& sub = it->second;
+        const double cost = sub.est.setup + sub.est.per_binding;
+        if (sub.trace_node != UINT32_MAX &&
+            sub.trace_gen == st->generation()) {
+          // Hot path: one per cost evaluation that touches a derived item,
+          // so no strings — the memo entry remembers its lattice node.
+          st->RecordMemoHit(sub.trace_node, cost);
+        } else {
+          // The entry predates this trace (tracer cleared or attached
+          // mid-stream): fall back to recording the key.
+          st->RecordCandidate({}, cost, CandidateDisposition::kMemoHit,
+                              ap.ToString());
+        }
+      }
       return it->second;
     }
     search_stats_.memo_misses++;
   }
   search_stats_.subplans_optimized++;
+  SearchTracer* const st = Tracing();
+  const std::string trace_key = st == nullptr ? std::string() : ap.ToString();
+  SearchScope trace_scope(st, st == nullptr ? std::string()
+                                            : StrCat("p ", trace_key));
 
   Subplan result;
   int clique_index = graph_.CliqueIndex(ap.pred);
@@ -180,6 +228,7 @@ Optimizer::Subplan Optimizer::OptimizePredicate(const AdornedPredicate& ap) {
     }
   }
 
+  TraceMemoNode(trace_key, ap, &result);
   if (options_.memoize) memo_[ap] = result;
   return result;
 }
@@ -188,6 +237,11 @@ Optimizer::Subplan Optimizer::OptimizeRule(size_t rule_index,
                                            const Adornment& head_adn) {
   const Rule& rule = program_.rules()[rule_index];
   Subplan plan;
+  SearchTracer* const st = Tracing();
+  SearchScope trace_scope(
+      st, st == nullptr
+              ? std::string()
+              : StrCat("rule ", rule_index, " [", head_adn.ToString(), "]"));
 
   std::vector<ConjunctItem> items;
   items.reserve(rule.body().size());
@@ -227,6 +281,10 @@ Optimizer::Subplan Optimizer::OptimizeRule(size_t rule_index,
     search_stats_.prunes_unsafe++;
     plan.note = StrCat("no safe order for rule ", rule.ToString(),
                        " under binding ", head_adn.ToString());
+    if (st != nullptr) {
+      st->RecordCandidate(best.order, kInfiniteCost,
+                          CandidateDisposition::kPrunedUnsafe, plan.note);
+    }
     return plan;
   }
   // Range restriction of the head under this binding.
@@ -235,6 +293,10 @@ Optimizer::Subplan Optimizer::OptimizeRule(size_t rule_index,
     plan.est = PlanEstimate::Unsafe();
     search_stats_.prunes_unsafe++;
     plan.note = ec.message();
+    if (st != nullptr) {
+      st->RecordCandidate(best.order, kInfiniteCost,
+                          CandidateDisposition::kPrunedUnsafe, plan.note);
+    }
     return plan;
   }
 
@@ -285,6 +347,11 @@ Optimizer::Subplan Optimizer::OptimizeClique(int clique_index,
   const RecursiveClique& clique = graph_.cliques()[clique_index];
   Span span = options_.trace.StartSpan("optimize-clique", "optimizer");
   if (span.active()) span.AddArg("subquery", ap.ToString());
+  SearchTracer* const st = Tracing();
+  SearchScope trace_scope(
+      st, st == nullptr
+              ? std::string()
+              : StrCat("clique #", clique_index, " ", ap.ToString()));
   Subplan plan;
 
   // Safety first: a non-well-founded clique has no finite execution under
@@ -294,6 +361,10 @@ Optimizer::Subplan Optimizer::OptimizeClique(int clique_index,
     plan.est = PlanEstimate::Unsafe();
     search_stats_.prunes_unsafe++;
     plan.note = wf.message();
+    if (st != nullptr) {
+      st->RecordCandidate({}, kInfiniteCost,
+                          CandidateDisposition::kPrunedUnsafe, plan.note);
+    }
     return plan;
   }
 
@@ -487,6 +558,10 @@ Optimizer::Subplan Optimizer::OptimizeClique(int clique_index,
     plan.note = StrCat("no safe evaluation order for clique ",
                        clique.ToString(), " under binding ",
                        ap.adornment.ToString(), " (section 8.2 pruning)");
+    if (st != nullptr) {
+      st->RecordCandidate({}, kInfiniteCost,
+                          CandidateDisposition::kPrunedUnsafe, plan.note);
+    }
     return plan;
   }
 
@@ -596,7 +671,21 @@ Optimizer::Subplan Optimizer::OptimizeClique(int clique_index,
     plan.est = PlanEstimate::Unsafe();
     search_stats_.prunes_unsafe++;
     plan.note = "no applicable recursive method";
+    if (st != nullptr) {
+      st->RecordCandidate({}, kInfiniteCost,
+                          CandidateDisposition::kPrunedUnsafe, plan.note);
+    }
     return plan;
+  }
+  if (st != nullptr) {
+    // The PA method race: one candidate event per applicable recursive
+    // method, the winner kept.
+    for (const Candidate& c : candidates) {
+      st->RecordCandidate({}, c.est.setup + c.est.per_binding,
+                          &c == best ? CandidateDisposition::kKept
+                                     : CandidateDisposition::kDominated,
+                          RecursionMethodToString(c.method));
+    }
   }
   plan.est = best->est;
   plan.method = best->method;
@@ -623,6 +712,9 @@ void Optimizer::CollectPlan(const AdornedPredicate& ap, QueryPlan* plan,
   if (!visited->insert(ap.ToString()).second) return;
   auto it = memo_.find(ap);
   if (it == memo_.end()) return;
+  // Everything CollectPlan reaches is part of the chosen plan: highlight it
+  // in the memo lattice.
+  if (SearchTracer* st = Tracing()) st->MarkWinning(ap.ToString());
   const Subplan& sub = it->second;
   for (const auto& [rule_index, order] : sub.orders) {
     plan->rule_orders.emplace(rule_index, order);
@@ -652,7 +744,10 @@ Result<QueryPlan> Optimizer::Optimize(const Literal& goal) {
     span.AddArg("goal", goal.ToString());
     span.AddArg("strategy", strategy_->name());
   }
-  const PlanSearchStats before = search_stats_;
+  // Per-call accounting: a single Optimizer can serve several Optimize
+  // calls (with the memo persisting across them), but the stats describe
+  // one call, not the instance's lifetime.
+  search_stats_ = PlanSearchStats{};
   const auto wall_start = std::chrono::steady_clock::now();
 
   QueryPlan plan;
@@ -686,21 +781,9 @@ Result<QueryPlan> Optimizer::Optimize(const Literal& goal) {
           .count();
   plan.search_stats = search_stats_;
 
-  // One Optimizer can serve several Optimize calls; export only this
-  // call's share so repeated queries don't double-count in the registry.
-  if (options_.trace.metrics != nullptr) {
-    PlanSearchStats delta;
-    delta.cost_evaluations =
-        search_stats_.cost_evaluations - before.cost_evaluations;
-    delta.subplans_optimized =
-        search_stats_.subplans_optimized - before.subplans_optimized;
-    delta.memo_hits = search_stats_.memo_hits - before.memo_hits;
-    delta.memo_misses = search_stats_.memo_misses - before.memo_misses;
-    delta.prunes_unsafe = search_stats_.prunes_unsafe - before.prunes_unsafe;
-    delta.search_wall_ms =
-        search_stats_.search_wall_ms - before.search_wall_ms;
-    delta.ExportTo(options_.trace.metrics);
-  }
+  // The stats already cover exactly this call (reset above), so repeated
+  // queries don't double-count in the registry.
+  search_stats_.ExportTo(options_.trace.metrics);
 
   // verify_plans: materialize the decisions into a processing tree and
   // check the §4/§5 invariants held through the search. Unsafe plans carry

@@ -78,8 +78,14 @@ struct OptimizerOptions {
   /// Observability handle (src/obs/): spans around Optimize/clique search
   /// and per-strategy timings, metrics for search effort. Inert by default;
   /// LdlSystem forwards the same context to the engine so estimates and
-  /// measurements land in one registry.
+  /// measurements land in one registry. trace.search additionally records
+  /// every candidate subplan and the memo lattice (obs/search_trace.h).
   TraceContext trace;
+
+  /// LdlSystem::Query: record per-round fixpoint telemetry into
+  /// QueryAnswer::exec_stats.per_iteration (see FixpointOptions). Off by
+  /// default — it adds two clock reads per fixpoint round.
+  bool record_fixpoint_iterations = false;
 
   /// Hindsight overlay: measured per-(predicate, adornment) cardinalities
   /// that override the model's estimates wherever available (cost-model
@@ -161,6 +167,9 @@ class Optimizer {
   /// p(X, Y) produce independent plans (section 2).
   Result<QueryPlan> Optimize(const Literal& goal);
 
+  /// Search-effort accounting for the most recent Optimize call (the stats
+  /// reset at the start of every call; QueryPlan::search_stats carries the
+  /// same per-call values).
   const PlanSearchStats& search_stats() const { return search_stats_; }
 
   /// Annotates a processing tree (see plan/processing_tree.h) with the
@@ -189,6 +198,11 @@ class Optimizer {
     std::vector<AdornedPredicate> materialized_children;
     /// Diagnostic when est is unsafe.
     std::string note;
+    /// Search-trace bookkeeping: the memo lattice node this subplan was
+    /// recorded under, valid while trace_gen matches the tracer's
+    /// generation(). Lets memo hits record without rebuilding the key.
+    uint32_t trace_node = UINT32_MAX;
+    uint32_t trace_gen = 0;
   };
 
   // OR node / CC dispatch (Figure 7-1 case 2 + Figure 7-2 case 3).
@@ -202,6 +216,17 @@ class Optimizer {
   /// statistics; derived literals backed by OptimizePredicate (pipelined)
   /// and, when enabled, the materialized alternative.
   ConjunctItem MakeItem(const Literal& lit, Subplan* parent);
+
+  /// The attached-and-enabled search tracer, or nullptr. Sites must only
+  /// build labels/keys after this returns non-null (disabled tracing must
+  /// stay allocation-free).
+  SearchTracer* Tracing() const;
+  /// Records `ap`'s subplan into the tracer's memo lattice under `key`
+  /// (the caller's precomputed ap.ToString()), and stamps the subplan with
+  /// the interned node so memo hits can record string-free. No-op when not
+  /// tracing.
+  void TraceMemoNode(std::string_view key, const AdornedPredicate& ap,
+                     Subplan* sub);
 
   void CollectPlan(const AdornedPredicate& ap, QueryPlan* plan,
                    std::set<std::string>* visited);

@@ -126,4 +126,93 @@ std::string RenderExplain(const PlanNode& tree,
   return os.str();
 }
 
+std::string RenderExplainOptimize(const SearchTracer& tracer,
+                                  size_t max_candidate_lines) {
+  std::ostringstream os;
+  os << "SEARCH OPTIMIZE\n";
+
+  // Disposition summary.
+  constexpr CandidateDisposition kAll[] = {
+      CandidateDisposition::kKept, CandidateDisposition::kDominated,
+      CandidateDisposition::kPrunedBound, CandidateDisposition::kPrunedUnsafe,
+      CandidateDisposition::kMemoHit};
+  os << "  " << tracer.candidates().size() << " candidates recorded";
+  if (tracer.dropped_candidates() > 0) {
+    os << " (+" << tracer.dropped_candidates() << " dropped at cap)";
+  }
+  os << ":";
+  for (CandidateDisposition d : kAll) {
+    os << " " << tracer.CountDisposition(d) << " "
+       << CandidateDispositionToString(d);
+    if (d != CandidateDisposition::kMemoHit) os << ",";
+  }
+  os << "\n\n";
+
+  // Scope nesting depths for indentation.
+  const auto& scopes = tracer.scopes();
+  std::vector<size_t> depth(scopes.size(), 0);
+  for (size_t i = 0; i < scopes.size(); ++i) {
+    if (scopes[i].parent >= 0) {
+      depth[i] = depth[static_cast<size_t>(scopes[i].parent)] + 1;
+    }
+  }
+
+  // Candidate log in recorded order, a scope header whenever the scope
+  // changes (the search is depth-first, so runs per scope are contiguous
+  // enough to read as a tree).
+  uint32_t last_scope = UINT32_MAX;
+  size_t lines = 0;
+  for (const SearchCandidate& c : tracer.candidates()) {
+    if (lines >= max_candidate_lines) {
+      os << "  ... (" << tracer.candidates().size() - lines
+         << " more candidates not shown)\n";
+      break;
+    }
+    if (c.scope != last_scope && c.scope < scopes.size()) {
+      os << std::string(2 + 2 * depth[c.scope], ' ') << scopes[c.scope].label
+         << ":\n";
+      last_scope = c.scope;
+    }
+    const size_t d = c.scope < scopes.size() ? depth[c.scope] + 1 : 1;
+    os << std::string(2 + 2 * d, ' ') << "["
+       << CandidateDispositionToString(c.disposition) << "] cost "
+       << FormatDouble(c.cost);
+    std::vector<size_t> order = tracer.OrderOf(c);
+    if (!order.empty()) {
+      os << "  order";
+      for (size_t idx : order) os << " " << idx;
+    }
+    const std::string& detail = tracer.DetailOf(c);
+    if (!detail.empty()) os << "  -- " << detail;
+    os << "\n";
+    ++lines;
+  }
+
+  // The final memo lattice: Figure 7-1's per-binding table.
+  os << "\nMEMO LATTICE (" << tracer.memo().size() << " entries)\n";
+  for (const MemoNodeInfo& node : tracer.memo()) {
+    os << "  " << (node.winning ? "* " : "  ") << node.key;
+    if (!node.safe) {
+      os << "  UNSAFE";
+      if (!node.note.empty()) os << " (" << node.note << ")";
+    } else {
+      os << "  cost " << FormatDouble(node.cost) << "  card "
+         << FormatDouble(node.card);
+      if (!node.method.empty()) os << "  via " << node.method;
+    }
+    if (!node.children.empty()) {
+      os << "  <- ";
+      for (size_t i = 0; i < node.children.size(); ++i) {
+        if (i) os << ", ";
+        const uint32_t child = node.children[i];
+        os << (child < tracer.memo().size() ? tracer.memo()[child].key
+                                            : std::string("?"));
+      }
+    }
+    os << "\n";
+  }
+  os << "  (* = on the chosen plan)\n";
+  return os.str();
+}
+
 }  // namespace ldl

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "obs/context.h"
+#include "obs/search_trace.h"
 #include "plan/processing_tree.h"
 
 namespace ldl {
@@ -22,6 +23,16 @@ namespace ldl {
 /// inline by their AND parent) show "-" in the measured columns.
 std::string RenderExplain(const PlanNode& tree,
                           const ExecutionProfile* profile = nullptr);
+
+/// EXPLAIN OPTIMIZE rendering of a recorded search: a disposition summary,
+/// the candidate log grouped under its search scopes (indented by scope
+/// nesting, each candidate with disposition, estimated cost, proposed order
+/// and detail), and the final (predicate, adornment) -> Subplan memo
+/// lattice with the winning entries marked. `max_candidate_lines` bounds
+/// the candidate log for terminal use; the tail is summarized, never
+/// silently dropped.
+std::string RenderExplainOptimize(const SearchTracer& tracer,
+                                  size_t max_candidate_lines = 200);
 
 }  // namespace ldl
 

@@ -5,6 +5,7 @@
 #include <algorithm>
 
 #include "ast/parser.h"
+#include "base/strings.h"
 #include "engine/query_eval.h"
 #include "testing/workloads.h"
 
@@ -290,6 +291,82 @@ TEST(QueryEvalTest, BaseRelationQueryNeedsNoRules) {
       EvaluateQuery(p, &db, L("par(1, Y)"), RecursionMethod::kSemiNaive, {});
   ASSERT_TRUE(result.ok());
   EXPECT_EQ(result->answers.size(), 1u);
+}
+
+/// Golden-value test for the per-iteration fixpoint telemetry: a 4-node
+/// cycle (1→2→3→4→1) closed transitively, evaluated under all four
+/// recursion methods with record_iterations on. The data is tiny and fully
+/// deterministic, so the exact round-by-round delta trajectory is part of
+/// the contract: both disciplines record their final empty round, naive
+/// additionally re-derives everything each round, and the rewrite-based
+/// methods
+/// report their rewritten cliques under the rewrite's method label
+/// (counting falls back to magic on cyclic data, so its rounds are
+/// magic's).
+TEST(QueryEvalTest, IterationTelemetryGoldenValuesOnCycle) {
+  Program p = P(R"(
+    tc(X, Y) <- edge(X, Y).
+    tc(X, Y) <- edge(X, Z), tc(Z, Y).
+  )");
+  Database db;
+  Relation* edge = db.GetOrCreate({"edge", 2});
+  for (int64_t i = 1; i <= 4; ++i) {
+    edge->Insert({Term::MakeInt(i), Term::MakeInt(i % 4 + 1)});
+  }
+  QueryEvalOptions options;
+  options.fixpoint.record_iterations = true;
+
+  auto run = [&](RecursionMethod method) {
+    auto result = EvaluateQuery(p, &db, L("tc(1, Y)"), method, options);
+    EXPECT_TRUE(result.ok()) << result.status();
+    return *result;
+  };
+  auto trajectory = [](const QueryResult& r) {
+    // (clique, method, iteration, delta) rows; wall_ms is unpinnable.
+    std::vector<std::string> rows;
+    for (const FixpointIteration& it : r.stats.per_iteration) {
+      rows.push_back(StrCat(it.clique, " ", it.method, " #", it.iteration,
+                            " +", it.delta_tuples));
+    }
+    return rows;
+  };
+
+  // Naive: every round recomputes everything; deltas 4,4,4,4 then the
+  // empty fixpoint-detection round is recorded too. All answers: 16 pairs.
+  QueryResult naive = run(RecursionMethod::kNaive);
+  EXPECT_EQ(naive.answers.size(), 4u);
+  EXPECT_EQ(trajectory(naive),
+            (std::vector<std::string>{
+                "tc/2 naive #1 +4", "tc/2 naive #2 +4", "tc/2 naive #3 +4",
+                "tc/2 naive #4 +4", "tc/2 naive #5 +0"}));
+
+  // Semi-naive: the exit-rule seeding is not a recorded round, so the
+  // rounds are the three delta joins (path lengths 2..4) plus the empty
+  // round that detects convergence.
+  QueryResult seminaive = run(RecursionMethod::kSemiNaive);
+  EXPECT_EQ(seminaive.answers.size(), 4u);
+  EXPECT_EQ(trajectory(seminaive),
+            (std::vector<std::string>{
+                "tc/2 seminaive #1 +4", "tc/2 seminaive #2 +4",
+                "tc/2 seminaive #3 +4", "tc/2 seminaive #4 +0"}));
+
+  // Magic: the rewritten program's cliques carry the magic label. With the
+  // query bound to node 1, the magic set floods the whole cycle.
+  QueryResult magic = run(RecursionMethod::kMagic);
+  EXPECT_EQ(magic.answers.size(), 4u);
+  ASSERT_FALSE(magic.stats.per_iteration.empty());
+  for (const FixpointIteration& it : magic.stats.per_iteration) {
+    EXPECT_EQ(it.method, "magic");
+  }
+  const std::vector<std::string> magic_rows = trajectory(magic);
+
+  // Counting: cyclic data trips the ascent guard, so evaluation falls back
+  // to magic — identical answers AND an identical round trajectory, every
+  // row labeled magic (the rounds belong to the fallback evaluation).
+  QueryResult counting = run(RecursionMethod::kCounting);
+  EXPECT_EQ(counting.method_used, RecursionMethod::kMagic);
+  EXPECT_EQ(counting.answers.size(), 4u);
+  EXPECT_EQ(trajectory(counting), magic_rows);
 }
 
 TEST(QueryEvalTest, ReachableSubprogramPrunesUnrelatedRules) {

@@ -6,12 +6,14 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <limits>
 #include <new>
 #include <sstream>
 #include <thread>
 
 #include "obs/context.h"
 #include "obs/metrics.h"
+#include "obs/search_trace.h"
 #include "obs/trace.h"
 
 // Global allocation counter for the zero-allocation tests. Counting is
@@ -278,6 +280,129 @@ TEST(ContextTest, ExecutionProfileLookup) {
   profile.nodes[&node].out_rows = 9;
   ASSERT_NE(profile.Find(&node), nullptr);
   EXPECT_EQ(profile.Find(&node)->out_rows, 9u);
+}
+
+TEST(SearchTracerTest, RecordsCandidatesUnderScopes) {
+  SearchTracer tracer;
+  uint32_t root = tracer.BeginScope("p anc.bf/2");
+  tracer.RecordCandidate({1, 0}, 12.5, CandidateDisposition::kKept,
+                         "textual order");
+  {
+    SearchScope inner(&tracer, "rule 0 [bf]");
+    tracer.RecordCandidateStep({1}, 2, 99.0,
+                               CandidateDisposition::kPrunedBound);
+  }
+  ASSERT_EQ(tracer.candidates().size(), 2u);
+  const SearchCandidate& kept = tracer.candidates()[0];
+  EXPECT_EQ(kept.scope, root);
+  EXPECT_EQ(tracer.OrderOf(kept), (std::vector<size_t>{1, 0}));
+  EXPECT_EQ(tracer.DetailOf(kept), "textual order");
+  const SearchCandidate& pruned = tracer.candidates()[1];
+  EXPECT_EQ(tracer.OrderOf(pruned), (std::vector<size_t>{1, 2}));
+  EXPECT_EQ(tracer.scopes()[pruned.scope].label, "rule 0 [bf]");
+  EXPECT_EQ(tracer.scopes()[pruned.scope].parent,
+            static_cast<int32_t>(root));
+  EXPECT_EQ(tracer.CountDisposition(CandidateDisposition::kKept), 1u);
+  EXPECT_EQ(tracer.CountDisposition(CandidateDisposition::kPrunedBound), 1u);
+}
+
+TEST(SearchTracerTest, MemoLatticeInternsAndResolvesHits) {
+  SearchTracer tracer;
+  uint32_t anc = tracer.InternMemoNode("anc.bf/2");
+  uint32_t par = tracer.InternMemoNode("par.bf/2");
+  EXPECT_EQ(tracer.InternMemoNode("anc.bf/2"), anc);  // interned once
+  tracer.SetMemoNode(anc, 15.0, 5.0, true, "counting", "");
+  tracer.AddMemoEdge(anc, par);
+  tracer.AddMemoEdge(anc, par);  // deduplicated
+  ASSERT_EQ(tracer.memo().size(), 2u);
+  EXPECT_EQ(tracer.memo()[anc].children, std::vector<uint32_t>{par});
+  tracer.MarkWinning("anc.bf/2");
+  EXPECT_TRUE(tracer.memo()[anc].winning);
+  EXPECT_FALSE(tracer.memo()[par].winning);
+  // A memo-hit event carries the node index; the detail resolves to the
+  // node's key without the recorder ever building the string again.
+  tracer.RecordMemoHit(anc, 15.0);
+  ASSERT_EQ(tracer.candidates().size(), 1u);
+  EXPECT_EQ(tracer.candidates()[0].disposition,
+            CandidateDisposition::kMemoHit);
+  EXPECT_EQ(tracer.DetailOf(tracer.candidates()[0]), "anc.bf/2");
+}
+
+TEST(SearchTracerTest, CandidateCapCountsDrops) {
+  SearchTracer tracer;
+  tracer.set_max_candidates(2);
+  for (int i = 0; i < 5; ++i) {
+    tracer.RecordCandidate({0}, 1.0, CandidateDisposition::kDominated);
+  }
+  EXPECT_EQ(tracer.candidates().size(), 2u);
+  EXPECT_EQ(tracer.dropped_candidates(), 3u);
+}
+
+TEST(SearchTracerTest, ClearResetsStateAndBumpsGeneration) {
+  SearchTracer tracer;
+  tracer.BeginScope("s");
+  tracer.RecordCandidate({0}, 1.0, CandidateDisposition::kKept);
+  tracer.InternMemoNode("n/1");
+  const uint32_t gen = tracer.generation();
+  tracer.Clear();
+  EXPECT_EQ(tracer.generation(), gen + 1);
+  EXPECT_TRUE(tracer.scopes().empty());
+  EXPECT_TRUE(tracer.candidates().empty());
+  EXPECT_TRUE(tracer.memo().empty());
+  // The index was cleared with the nodes: re-interning starts over.
+  EXPECT_EQ(tracer.InternMemoNode("n/1"), 0u);
+}
+
+TEST(SearchTracerTest, JsonAndDotShape) {
+  SearchTracer tracer;
+  tracer.BeginScope("p q.bf/2");
+  tracer.RecordCandidate({0, 1}, 3.5, CandidateDisposition::kKept, "de\"tail");
+  // Unsafe subplans are priced at +inf (§8.2); that must still be JSON.
+  tracer.RecordCandidate({1, 0}, std::numeric_limits<double>::infinity(),
+                         CandidateDisposition::kPrunedUnsafe);
+  uint32_t n = tracer.InternMemoNode("q.bf/2");
+  tracer.SetMemoNode(n, 3.5, 2.0, true, "semi-naive", "");
+  tracer.MarkWinning("q.bf/2");
+  std::ostringstream json;
+  tracer.WriteJson(json);
+  EXPECT_NE(json.str().find("\"scopes\""), std::string::npos);
+  EXPECT_NE(json.str().find("\"candidates\""), std::string::npos);
+  EXPECT_NE(json.str().find("\"order\":[0,1]"), std::string::npos);
+  EXPECT_NE(json.str().find("\"disposition\":\"kept\""), std::string::npos);
+  EXPECT_NE(json.str().find("de\\\"tail"), std::string::npos);
+  EXPECT_NE(json.str().find("\"cost\":\"inf\""), std::string::npos);
+  EXPECT_EQ(json.str().find("\"cost\":inf"), std::string::npos);
+  EXPECT_NE(json.str().find("\"memo\""), std::string::npos);
+  std::ostringstream dot;
+  tracer.WriteDot(dot);
+  EXPECT_NE(dot.str().find("digraph memo_lattice"), std::string::npos);
+  EXPECT_NE(dot.str().find("lightgoldenrod"), std::string::npos);
+}
+
+TEST(SearchTracerTest, DisabledPathDoesNotAllocate) {
+  SearchTracer tracer;
+  tracer.set_enabled(false);
+  // The order vector is the caller's; build it outside the counted block
+  // (real call sites pass vectors the search owns anyway).
+  const std::vector<size_t> order = {0, 1, 2};
+  const uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  for (int i = 0; i < 100; ++i) {
+    SearchScope null_scope(nullptr, "ignored");
+    SearchScope off_scope(&tracer, "ignored");
+    tracer.RecordCandidate(order, 1.0, CandidateDisposition::kKept);
+    tracer.RecordCandidateStep(order, 3, 1.0,
+                               CandidateDisposition::kPrunedBound);
+    tracer.RecordMemoHit(0, 1.0);
+    tracer.InternMemoNode("q.bf/2");
+    tracer.SetMemoNode(0, 1.0, 1.0, true, "m", "n");
+    tracer.AddMemoEdge(0, 1);
+    tracer.MarkWinning("q.bf/2");
+  }
+  const uint64_t after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u);
+  EXPECT_TRUE(tracer.candidates().empty());
+  EXPECT_TRUE(tracer.scopes().empty());
+  EXPECT_TRUE(tracer.memo().empty());
 }
 
 }  // namespace

@@ -158,6 +158,30 @@ TEST(OptimizerTest, MemoizationOptimizesEachBindingOnce) {
             plan->search_stats.subplans_optimized);
 }
 
+TEST(OptimizerTest, SearchStatsResetBetweenOptimizeCalls) {
+  // One long-lived Optimizer (NR-OPT keeps its memo across queries), two
+  // Optimize calls: each call's search_stats must describe that call only.
+  // A fully memoized repeat reports zero fresh work, not the first call's
+  // totals accumulated twice.
+  Program p = P("q(X, Z) <- r1(X, Y), r2(Y, Z).");
+  Statistics stats;
+  stats.Set({"r1", 2}, {1000.0, {500.0, 200.0}});
+  stats.Set({"r2", 2}, {50.0, {50.0, 50.0}});
+  Optimizer opt(p, stats, {});
+  ASSERT_TRUE(opt.Optimize(L("q(1, Z)")).ok());
+  const PlanSearchStats first = opt.search_stats();
+  EXPECT_GT(first.subplans_optimized, 0u);
+  EXPECT_GT(first.cost_evaluations, 0u);
+
+  auto repeat = opt.Optimize(L("q(1, Z)"));
+  ASSERT_TRUE(repeat.ok()) << repeat.status();
+  const PlanSearchStats second = opt.search_stats();
+  EXPECT_EQ(second.subplans_optimized, 0u);
+  EXPECT_EQ(second.memo_misses, 0u);
+  EXPECT_EQ(second.cost_evaluations, 0u);
+  EXPECT_GT(second.memo_hits, 0u);  // the goal itself answers from memo
+}
+
 TEST(OptimizerTest, UnsafeQueryGetsInfiniteCostAndDiagnostic) {
   Program p = P("bigger(X, Y) <- X > Y.");
   Statistics stats;

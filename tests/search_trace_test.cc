@@ -1,0 +1,209 @@
+// Integration tests for search introspection: the optimizer threading of
+// SearchTracer (candidate events, scopes, the memo lattice, the clique
+// method race), EXPLAIN OPTIMIZE rendering through LdlSystem, and the
+// trace's invariance properties (tracing must never change the plan).
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "ast/parser.h"
+#include "ldl/ldl.h"
+#include "obs/search_trace.h"
+#include "optimizer/optimizer.h"
+#include "plan/explain.h"
+
+namespace ldl {
+namespace {
+
+Program P(const char* text) {
+  auto r = ParseProgram(text);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return *r;
+}
+
+Literal L(const char* text) {
+  auto r = ParseLiteral(text);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return *r;
+}
+
+constexpr const char* kChainRules =
+    "q(X, W) <- r1(X, Y), r2(Y, Z), r3(Z, W).";
+
+Statistics ChainStats() {
+  Statistics stats;
+  stats.Set({"r1", 2}, {10000.0, {5000.0, 400.0}});
+  stats.Set({"r2", 2}, {50.0, {50.0, 50.0}});
+  stats.Set({"r3", 2}, {3000.0, {600.0, 3000.0}});
+  return stats;
+}
+
+TEST(SearchTraceIntegrationTest, TracerDoesNotChangeThePlan) {
+  Program p = P(kChainRules);
+  Statistics stats = ChainStats();
+  Optimizer plain(p, stats, {});
+  auto untraced = plain.Optimize(L("q(1, W)"));
+  ASSERT_TRUE(untraced.ok()) << untraced.status();
+
+  SearchTracer tracer;
+  OptimizerOptions options;
+  options.trace.search = &tracer;
+  Optimizer traced_opt(p, stats, options);
+  auto traced = traced_opt.Optimize(L("q(1, W)"));
+  ASSERT_TRUE(traced.ok()) << traced.status();
+
+  EXPECT_EQ(traced->rule_orders.at(0), untraced->rule_orders.at(0));
+  EXPECT_DOUBLE_EQ(traced->TotalCost(), untraced->TotalCost());
+  EXPECT_FALSE(tracer.candidates().empty());
+}
+
+TEST(SearchTraceIntegrationTest, ExhaustiveAndDpAgreeOnWinnerNotOnWork) {
+  // Same optimum through different searches: the traces must agree on the
+  // winning order but show different candidate sets (B&B explores
+  // permutation prefixes, DP explores subsets).
+  Program p = P(kChainRules);
+  Statistics stats = ChainStats();
+
+  SearchTracer ex_trace;
+  OptimizerOptions ex_options;
+  ex_options.strategy = SearchStrategy::kExhaustive;
+  ex_options.trace.search = &ex_trace;
+  Optimizer ex_opt(p, stats, ex_options);
+  auto ex_plan = ex_opt.Optimize(L("q(1, W)"));
+  ASSERT_TRUE(ex_plan.ok()) << ex_plan.status();
+
+  SearchTracer dp_trace;
+  OptimizerOptions dp_options;
+  dp_options.strategy = SearchStrategy::kDynamicProgramming;
+  dp_options.trace.search = &dp_trace;
+  Optimizer dp_opt(p, stats, dp_options);
+  auto dp_plan = dp_opt.Optimize(L("q(1, W)"));
+  ASSERT_TRUE(dp_plan.ok()) << dp_plan.status();
+
+  EXPECT_EQ(ex_plan->rule_orders.at(0), dp_plan->rule_orders.at(0));
+  EXPECT_DOUBLE_EQ(ex_plan->TotalCost(), dp_plan->TotalCost());
+  EXPECT_FALSE(ex_trace.candidates().empty());
+  EXPECT_FALSE(dp_trace.candidates().empty());
+  EXPECT_NE(ex_trace.candidates().size(), dp_trace.candidates().size());
+}
+
+TEST(SearchTraceIntegrationTest, MemoLatticeMarksWinningClosure) {
+  SearchTracer tracer;
+  OptimizerOptions options;
+  options.trace.search = &tracer;
+  Program p = P(R"(
+    anc(X, Y) <- par(X, Y).
+    anc(X, Y) <- par(X, Z), anc(Z, Y).
+  )");
+  Statistics stats;
+  stats.Set({"par", 2}, {1000.0, {700.0, 500.0}});
+  Optimizer opt(p, stats, options);
+  auto plan = opt.Optimize(L("anc(1, Y)"));
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  ASSERT_TRUE(plan->safe) << plan->unsafe_reason;
+
+  ASSERT_FALSE(tracer.memo().empty());
+  bool winning_anc = false;
+  for (const MemoNodeInfo& node : tracer.memo()) {
+    if (node.key.rfind("anc.", 0) == 0 && node.winning) {
+      winning_anc = true;
+      // Recursive winner carries the method that won the race.
+      EXPECT_FALSE(node.method.empty());
+    }
+  }
+  EXPECT_TRUE(winning_anc);
+  // The clique's method race leaves one kept candidate; any alternative
+  // methods it beat show as dominated in the same trace.
+  EXPECT_GE(tracer.CountDisposition(CandidateDisposition::kKept), 1u);
+}
+
+TEST(SearchTraceIntegrationTest, MemoHitsRecordStringFreeAndResolve) {
+  // The diamond forces d to be reached twice under the same adornment: the
+  // second reach is a memo hit whose event must resolve to the memo key.
+  SearchTracer tracer;
+  OptimizerOptions options;
+  options.trace.search = &tracer;
+  Program p = P(R"(
+    left(X, Y) <- d(X, Y).
+    right(X, Y) <- d(X, Y).
+    top(X, Y) <- left(X, Z), right(Z, Y).
+    d(X, Y) <- base(X, Y).
+  )");
+  Statistics stats;
+  stats.Set({"base", 2}, {100.0, {50.0, 50.0}});
+  Optimizer opt(p, stats, options);
+  auto plan = opt.Optimize(L("top(1, Y)"));
+  ASSERT_TRUE(plan.ok()) << plan.status();
+
+  size_t hits_with_key = 0;
+  for (const SearchCandidate& c : tracer.candidates()) {
+    if (c.disposition != CandidateDisposition::kMemoHit) continue;
+    EXPECT_NE(c.memo_node, UINT32_MAX);
+    if (tracer.DetailOf(c).rfind("d.", 0) == 0) ++hits_with_key;
+  }
+  EXPECT_GE(hits_with_key, 1u);
+}
+
+TEST(SearchTraceIntegrationTest, StaleMemoEntriesFallBackAfterClear) {
+  // An optimizer whose memo outlives a tracer Clear() must still produce
+  // readable memo-hit events (via the key fallback), never dangling node
+  // indices into the new trace.
+  SearchTracer tracer;
+  OptimizerOptions options;
+  options.trace.search = &tracer;
+  Program p = P("q(X, Y) <- base(X, Y).");
+  Statistics stats;
+  stats.Set({"base", 2}, {100.0, {50.0, 50.0}});
+  Optimizer opt(p, stats, options);
+  ASSERT_TRUE(opt.Optimize(L("q(1, Y)")).ok());
+  tracer.Clear();
+  ASSERT_TRUE(opt.Optimize(L("q(1, Y)")).ok());  // fully memoized
+  ASSERT_FALSE(tracer.candidates().empty());
+  for (const SearchCandidate& c : tracer.candidates()) {
+    if (c.disposition == CandidateDisposition::kMemoHit) {
+      EXPECT_EQ(c.memo_node, UINT32_MAX);  // stale id not reused
+      EXPECT_EQ(tracer.DetailOf(c).rfind("q.", 0), 0u);
+    }
+  }
+}
+
+TEST(SearchTraceIntegrationTest, ExplainOptimizeListsRejectedCandidates) {
+  LdlSystem sys;
+  ASSERT_TRUE(sys.LoadProgram(R"(
+    par(1, 2). par(2, 3). par(3, 4). par(1, 5).
+    anc(X, Y) <- par(X, Y).
+    anc(X, Y) <- par(X, Z), anc(Z, Y).
+  )").ok());
+  auto text = sys.ExplainOptimize("anc(1, Y)");
+  ASSERT_TRUE(text.ok()) << text.status();
+  EXPECT_NE(text->find("SEARCH OPTIMIZE"), std::string::npos);
+  EXPECT_NE(text->find("MEMO LATTICE"), std::string::npos);
+  // At least two rejected candidates with their dispositions: the clique
+  // method race alone dominates several methods, and the two-literal
+  // recursive body costs both orders.
+  size_t rejected = 0;
+  for (const char* needle : {"[dominated]", "[pruned-bound]",
+                             "[pruned-unsafe]"}) {
+    for (size_t at = text->find(needle); at != std::string::npos;
+         at = text->find(needle, at + 1)) {
+      ++rejected;
+    }
+  }
+  EXPECT_GE(rejected, 2u) << *text;
+  // The winning memo entries are starred.
+  EXPECT_NE(text->find("* anc."), std::string::npos) << *text;
+}
+
+TEST(SearchTraceIntegrationTest, RenderSummarizesTailBeyondLineCap) {
+  SearchTracer tracer;
+  tracer.BeginScope("p q.ff/1");
+  for (int i = 0; i < 10; ++i) {
+    tracer.RecordCandidate({0}, 1.0, CandidateDisposition::kDominated);
+  }
+  std::string text = RenderExplainOptimize(tracer, /*max_candidate_lines=*/3);
+  EXPECT_NE(text.find("more candidates not shown"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ldl

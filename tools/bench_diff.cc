@@ -337,15 +337,24 @@ size_t DiffFile(const std::string& name, const JsonValue& baseline,
 
   for (const FlatTable& cur : cur_tables) {
     const FlatTable* base = nullptr;
+    bool id_seen = false;
     for (const FlatTable& b : base_tables) {
-      if (b.id == cur.id && b.headers == cur.headers) {
+      if (b.id != cur.id) continue;
+      id_seen = true;
+      if (b.headers == cur.headers) {
         base = &b;
         break;
       }
     }
     if (base == nullptr) {
+      // A table the baseline has never seen is expected when a benchmark
+      // grows a new experiment — the next --update-baselines records it.
+      // Same id with different headers means the table was reshaped; both
+      // are skips, not failures.
       std::cout << name << " " << cur.id
-                << ": no matching baseline table, skipped\n";
+                << (id_seen ? ": baseline table has different headers "
+                              "(reshaped), skipped\n"
+                            : ": new table, skipped\n");
       continue;
     }
     for (size_t c = 0; c < cur.headers.size(); ++c) {

@@ -12,13 +12,17 @@
 // For each file: parse (parse failures report as error L000), run every
 // ProgramLinter check, then — unless --no-verify — optimize each embedded
 // query form with verify_plans on, so the processing tree of every query is
-// checked against the §4/§5 invariants. Unsafe queries report as error S001.
+// checked against the §4/§5 invariants. Unsafe queries report as error S001,
+// and each recursive clique is probed under every entry adornment: a clique
+// that is unsafe under all of them warns as L010 (every query that touches
+// it is doomed, whatever its binding pattern).
 //
 // Exit status: 0 clean (warnings allowed unless --werror), 1 findings,
 // 2 usage error.
 
 #include <fstream>
 #include <iostream>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -26,8 +30,12 @@
 #include "analysis/diagnostic.h"
 #include "analysis/linter.h"
 #include "ast/parser.h"
+#include "base/strings.h"
+#include "graph/dependency_graph.h"
 #include "ldl/ldl.h"
+#include "obs/search_trace.h"
 #include "obs/trace.h"
+#include "optimizer/optimizer.h"
 
 namespace {
 
@@ -92,6 +100,78 @@ void VerifyQueries(const std::string& text, ldl::DiagnosticSink* sink) {
   }
 }
 
+/// L010: warns for every recursive clique that has no safe evaluation
+/// under ANY entry adornment. Each of the 2^arity binding patterns of each
+/// clique predicate is probed with a proxy goal (bound positions get a
+/// placeholder constant — safety does not depend on the constant's value);
+/// the optimizer's pruned-unsafe search events supply the reasons.
+void CheckRecursiveCliques(const ldl::Program& program,
+                           ldl::DiagnosticSink* sink) {
+  // Probing is exponential in arity by design (that is the adornment
+  // space); skip pathological arities rather than stall the lint.
+  constexpr size_t kMaxProbeArity = 8;
+  ldl::DependencyGraph graph = ldl::DependencyGraph::Build(program);
+  if (graph.cliques().empty()) return;
+  ldl::SearchTracer tracer;
+  ldl::OptimizerOptions options;
+  options.trace.search = &tracer;
+  ldl::Statistics stats;  // safety is statistics-independent
+  for (const ldl::RecursiveClique& clique : graph.cliques()) {
+    bool any_safe = false;
+    std::set<std::string> reasons;
+    for (const ldl::PredicateId& pred : clique.predicates) {
+      if (pred.arity > kMaxProbeArity) {
+        any_safe = true;  // unprobed: give it the benefit of the doubt
+        break;
+      }
+      for (size_t mask = 0; mask < (size_t{1} << pred.arity) && !any_safe;
+           ++mask) {
+        std::vector<ldl::Term> args;
+        for (size_t i = 0; i < pred.arity; ++i) {
+          args.push_back(mask >> i & 1
+                             ? ldl::Term::MakeInt(0)
+                             : ldl::Term::MakeVariable(ldl::StrCat("X", i)));
+        }
+        tracer.Clear();
+        ldl::Optimizer optimizer(program, stats, options);
+        auto plan = optimizer.Optimize(
+            ldl::Literal::Make(pred.name, std::move(args)));
+        if (plan.ok() && plan->safe) {
+          any_safe = true;
+          break;
+        }
+        if (plan.ok() && !plan->unsafe_reason.empty()) {
+          reasons.insert(plan->unsafe_reason);
+        }
+        for (const ldl::SearchCandidate& c : tracer.candidates()) {
+          if (c.disposition == ldl::CandidateDisposition::kPrunedUnsafe &&
+              !tracer.DetailOf(c).empty()) {
+            reasons.insert(tracer.DetailOf(c));
+          }
+        }
+      }
+      if (any_safe) break;
+    }
+    if (any_safe) continue;
+    std::string names;
+    for (const ldl::PredicateId& pred : clique.predicates) {
+      ldl::StrAppend(&names, names.empty() ? "" : ", ", pred.name, "/",
+                     pred.arity);
+    }
+    std::string message = ldl::StrCat(
+        "recursive clique {", names,
+        "} has no adornment with a safe evaluation; every query reaching "
+        "it will fail");
+    size_t listed = 0;
+    for (const std::string& reason : reasons) {
+      ldl::StrAppend(&message, listed == 0 ? " (" : "; ", reason);
+      if (++listed == 3) break;
+    }
+    if (listed > 0) message += ")";
+    sink->Warning("L010", message);
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -145,6 +225,7 @@ int main(int argc, char** argv) {
       if (cli.verify_queries && !sink.HasErrors()) {
         ldl::Span verify_span(&tracer, "verify-queries", "lint");
         VerifyQueries(text, &sink);
+        CheckRecursiveCliques(*parsed, &sink);
       }
     }
     Print(file, sink, cli.warnings);

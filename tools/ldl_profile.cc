@@ -17,6 +17,17 @@
 //                        with --analyze: write the per-query calibration
 //                        reports (per-node q-errors, aggregates, plan
 //                        regret) as a JSON array.
+//   --explain-optimize   print EXPLAIN OPTIMIZE per query: the plan plus
+//                        the candidate log (with dispositions) and the memo
+//                        lattice the search built.
+//   --search-json FILE   write the per-query search traces (scopes,
+//                        candidates, memo lattice) as a JSON array.
+//   --fixpoint-json FILE execute each query and write the per-round
+//                        fixpoint telemetry (delta cardinality, derivation
+//                        count, wall time per iteration per recursion
+//                        method) as a JSON array.
+//   --dot FILE           write the first query's memo lattice as a
+//                        Graphviz digraph, winning subplans highlighted.
 //
 // Exit status: 0 success, 1 any query failed (parse, optimize, unsafe plan,
 // or execution error — details on stderr), 2 usage error.
@@ -27,9 +38,11 @@
 #include <string>
 #include <vector>
 
+#include "base/strings.h"
 #include "ldl/ldl.h"
 #include "obs/context.h"
 #include "obs/metrics.h"
+#include "obs/search_trace.h"
 #include "obs/trace.h"
 
 namespace {
@@ -37,17 +50,23 @@ namespace {
 struct CliOptions {
   bool analyze = false;
   bool print_metrics = false;
+  bool explain_optimize = false;
   std::string trace_json;
   std::string metrics_json;
   std::string calibration_json;
+  std::string search_json;
+  std::string fixpoint_json;
+  std::string dot_file;
   std::vector<std::string> queries;
   std::string file;
 };
 
 int Usage() {
-  std::cerr << "usage: ldl_profile [--analyze] [--query GOAL]... "
+  std::cerr << "usage: ldl_profile [--analyze] [--explain-optimize] "
+               "[--query GOAL]... "
                "[--trace-json FILE] [--metrics-json FILE] [--metrics] "
-               "[--calibration-json FILE] file.ldl | -\n";
+               "[--calibration-json FILE] [--search-json FILE] "
+               "[--fixpoint-json FILE] [--dot FILE] file.ldl | -\n";
   return 2;
 }
 
@@ -84,6 +103,14 @@ int main(int argc, char** argv) {
       cli.metrics_json = argv[++i];
     } else if (arg == "--calibration-json" && i + 1 < argc) {
       cli.calibration_json = argv[++i];
+    } else if (arg == "--explain-optimize") {
+      cli.explain_optimize = true;
+    } else if (arg == "--search-json" && i + 1 < argc) {
+      cli.search_json = argv[++i];
+    } else if (arg == "--fixpoint-json" && i + 1 < argc) {
+      cli.fixpoint_json = argv[++i];
+    } else if (arg == "--dot" && i + 1 < argc) {
+      cli.dot_file = argv[++i];
     } else if (arg == "--help" || arg == "-h") {
       Usage();
       return 0;
@@ -113,9 +140,14 @@ int main(int argc, char** argv) {
   ldl::Tracer tracer;
   tracer.set_enabled(true);
   ldl::MetricsRegistry metrics;
+  ldl::SearchTracer search_tracer;
   ldl::OptimizerOptions options;
   options.trace.tracer = &tracer;
   options.trace.metrics = &metrics;
+  const bool want_search = !cli.search_json.empty() ||
+                           !cli.dot_file.empty() || cli.explain_optimize;
+  if (want_search) options.trace.search = &search_tracer;
+  options.record_fixpoint_iterations = !cli.fixpoint_json.empty();
 
   ldl::LdlSystem sys(options);
   ldl::Status load = sys.LoadProgram(text);
@@ -138,11 +170,18 @@ int main(int argc, char** argv) {
 
   bool failed = false;
   std::vector<ldl::CalibrationReport> reports;
+  std::vector<std::string> search_entries;  // one JSON object per goal
+  std::vector<std::string> fixpoint_entries;
+  std::string dot;
   for (const std::string& goal : goals) {
     std::cout << "== " << (cli.analyze ? "EXPLAIN ANALYZE " : "EXPLAIN ")
               << goal << "? ==\n";
-    // The plan summary (and, via Optimize, the optimizer.* metrics).
-    auto plan = sys.Explain(goal);
+    // The plan summary (and, via Optimize, the optimizer.* metrics). One
+    // shared tracer, cleared per goal; the trace is captured right after
+    // this call, before --analyze's regret re-runs pollute it.
+    if (want_search) search_tracer.Clear();
+    auto plan = cli.explain_optimize ? sys.ExplainOptimize(goal)
+                                     : sys.Explain(goal);
     if (!plan.ok()) {
       std::cerr << "ldl_profile: " << goal << ": " << plan.status().ToString()
                 << "\n";
@@ -150,6 +189,36 @@ int main(int argc, char** argv) {
       continue;
     }
     std::cout << *plan << "\n";
+    if (!cli.search_json.empty()) {
+      std::ostringstream entry;
+      entry << "{\"goal\": \"" << ldl::JsonEscape(goal) << "\", \"search\": ";
+      search_tracer.WriteJson(entry);
+      entry << "}";
+      search_entries.push_back(entry.str());
+    }
+    if (!cli.dot_file.empty() && dot.empty()) {
+      std::ostringstream d;
+      search_tracer.WriteDot(d);
+      dot = d.str();
+    }
+    if (!cli.fixpoint_json.empty()) {
+      auto answer = sys.Query(goal);
+      if (!answer.ok()) {
+        std::cerr << "ldl_profile: " << goal << ": "
+                  << answer.status().ToString() << "\n";
+        failed = true;
+      } else {
+        std::ostringstream entry;
+        entry << "{\"goal\": \"" << ldl::JsonEscape(goal)
+              << "\", \"method\": \""
+              << ldl::RecursionMethodToString(answer->plan.top_method)
+              << "\", \"iterations\": "
+              << answer->exec_stats.iterations << ", \"rounds\": ";
+        answer->exec_stats.WriteIterationsJson(entry);
+        entry << "}";
+        fixpoint_entries.push_back(entry.str());
+      }
+    }
     if (cli.analyze) {
       auto analyzed = sys.AnalyzeCalibrated(goal);
       if (!analyzed.ok()) {
@@ -187,6 +256,40 @@ int main(int argc, char** argv) {
     out << "]\n";
   }
 
+  if (!cli.search_json.empty()) {
+    std::ofstream out(cli.search_json);
+    if (!out) {
+      std::cerr << "ldl_profile: cannot write " << cli.search_json << "\n";
+      return 1;
+    }
+    out << '[';
+    for (size_t i = 0; i < search_entries.size(); ++i) {
+      if (i) out << ',';
+      out << '\n' << search_entries[i];
+    }
+    out << "]\n";
+  }
+  if (!cli.fixpoint_json.empty()) {
+    std::ofstream out(cli.fixpoint_json);
+    if (!out) {
+      std::cerr << "ldl_profile: cannot write " << cli.fixpoint_json << "\n";
+      return 1;
+    }
+    out << '[';
+    for (size_t i = 0; i < fixpoint_entries.size(); ++i) {
+      if (i) out << ',';
+      out << '\n' << fixpoint_entries[i];
+    }
+    out << "]\n";
+  }
+  if (!cli.dot_file.empty()) {
+    std::ofstream out(cli.dot_file);
+    if (!out) {
+      std::cerr << "ldl_profile: cannot write " << cli.dot_file << "\n";
+      return 1;
+    }
+    out << dot;
+  }
   if (cli.print_metrics) std::cout << metrics.ToString();
   if (!cli.metrics_json.empty()) {
     std::ofstream out(cli.metrics_json);
