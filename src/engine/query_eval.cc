@@ -1,5 +1,7 @@
 #include "engine/query_eval.h"
 
+#include <algorithm>
+#include <cstdio>
 #include <set>
 
 #include "base/strings.h"
@@ -73,6 +75,25 @@ Relation SelectMatching(Relation* rel, const Literal& goal) {
     for (const Tuple& t : rel->tuples()) consider(t);
   }
   return out;
+}
+
+std::vector<Tuple> CanonicalAnswers(const Relation& answers) {
+  std::vector<Tuple> out = answers.tuples();
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string AnswerFingerprint(const Relation& answers) {
+  // Commutative accumulation (sum of per-tuple hashes) so the digest is
+  // independent of insertion order without sorting.
+  uint64_t acc = 0;
+  for (const Tuple& t : answers.tuples()) {
+    acc += static_cast<uint64_t>(TupleHash{}(t)) * 0x9e3779b97f4a7c15ULL;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%zu:%016llx", answers.size(),
+                static_cast<unsigned long long>(acc));
+  return buf;
 }
 
 namespace {
@@ -163,6 +184,15 @@ Result<QueryResult> EvaluateCounting(const Program& program, Database* base,
   FixpointOptions fixpoint = options.fixpoint;
   fixpoint.rule_orders.clear();
   fixpoint.method_label = "counting";
+  // Divergence guard. On acyclic data the ascent gains at least one new
+  // counter level per round and the longest level chain is bounded by the
+  // number of base tuples, so |EDB| + a few settling rounds suffices for
+  // any terminating run. Cyclic data then trips kResourceExhausted after
+  // O(|EDB|) rounds — and falls back to magic below — instead of grinding
+  // through the generic million-round safety cap.
+  fixpoint.max_iterations =
+      std::min(fixpoint.max_iterations,
+               base->TotalTuples() + counting.rewritten.rules().size() + 8);
   Status st = EvaluateProgram(counting.rewritten, RecursionMethod::kSemiNaive,
                               base, &scratch, &result.stats, fixpoint);
   if (!st.ok()) {

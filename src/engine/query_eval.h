@@ -56,6 +56,19 @@ Program ReachableSubprogram(const Program& program, const Literal& goal,
 /// returns them as a relation of the same arity.
 Relation SelectMatching(Relation* rel, const Literal& goal);
 
+/// Canonical form of an answer set: the tuples sorted by Term's total
+/// order. Two evaluations of the same query are equivalent iff their
+/// canonical forms are equal, regardless of derivation order — the
+/// comparison primitive of the differential-testing oracle
+/// (src/testing/difftest.h) and of the golden result tests.
+std::vector<Tuple> CanonicalAnswers(const Relation& answers);
+
+/// Order-independent digest of an answer set: "<rows>:<hex>" where the hex
+/// is a commutative hash over the tuples. Cheap to compare and to log;
+/// collisions are possible in principle, so mismatch *reports* should
+/// re-check with CanonicalAnswers.
+std::string AnswerFingerprint(const Relation& answers);
+
 }  // namespace ldl
 
 #endif  // LDLOPT_ENGINE_QUERY_EVAL_H_

@@ -44,6 +44,14 @@ class LdlSystem {
  public:
   explicit LdlSystem(OptimizerOptions options = {});
 
+  /// Replaces the optimizer options for subsequent Plan/Query/Explain
+  /// calls. The loaded program, fact base, and statistics are untouched, so
+  /// one system can be queried under many configurations without
+  /// re-parsing — the differential-testing oracle (src/testing/difftest.h)
+  /// sweeps the strategy × method matrix this way.
+  void set_options(OptimizerOptions options) { options_ = std::move(options); }
+  const OptimizerOptions& options() const { return options_; }
+
   /// Parses LDL text; rules extend the rule base, ground facts the fact
   /// base. Queries embedded in the text are remembered (pending_queries()).
   Status LoadProgram(std::string_view text);

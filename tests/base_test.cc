@@ -93,6 +93,33 @@ TEST(RngTest, DeterministicBySeed) {
   EXPECT_NE(a.Next(), c.Next());
 }
 
+TEST(RngTest, GoldenSequenceIsPinned) {
+  // Golden splitmix64 outputs. Seed-addressed artifacts (bench workloads,
+  // difftest repro files) replay through these exact values; a failure
+  // here means the recurrence changed and every recorded seed is invalid
+  // (see the determinism guarantee in base/rng.h).
+  constexpr uint64_t kSeed42[] = {
+      0xbdd732262feb6e95ULL, 0x28efe333b266f103ULL, 0x47526757130f9f52ULL,
+      0x581ce1ff0e4ae394ULL, 0x09bc585a244823f2ULL,
+  };
+  Rng rng(42);
+  for (uint64_t want : kSeed42) EXPECT_EQ(rng.Next(), want);
+  // splitmix64(1) from the reference implementation.
+  Rng one(1);
+  EXPECT_EQ(one.Next(), 0x910a2dec89025cc1ULL);
+  // Derived draws are pinned too (Uniform is Next() % bound).
+  Rng u(42);
+  EXPECT_EQ(u.Uniform(100), 13u);
+  EXPECT_EQ(u.Uniform(100), 91u);
+  EXPECT_EQ(u.Uniform(100), 58u);
+}
+
+TEST(RngTest, SeedZeroRemapsToIncrement) {
+  Rng zero(0);
+  Rng inc(0x9e3779b97f4a7c15ULL);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(zero.Next(), inc.Next());
+}
+
 TEST(RngTest, UniformBounds) {
   Rng rng(7);
   for (int i = 0; i < 1000; ++i) {
