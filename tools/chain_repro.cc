@@ -1,0 +1,34 @@
+#include <cstdio>
+
+#include "ast/parser.h"
+#include "engine/query_eval.h"
+#include "storage/database.h"
+
+using namespace ldl;
+
+int main() {
+  auto p = ParseProgram(
+      "tc(X, Y) <- edge(X, Y).\n"
+      "tc(X, Y) <- edge(X, Z), tc(Z, Y).\n");
+  if (!p.ok()) { std::printf("parse fail\n"); return 2; }
+  const int kN = 40;
+  Database db;
+  Relation* edge = db.GetOrCreate(PredicateId{"edge", 2});
+  for (int i = 0; i < kN; ++i)
+    edge->Insert({Term::MakeInt(i), Term::MakeInt(i + 1)});
+  auto goal = ParseLiteral("tc(0, Y)");
+  if (!goal.ok()) { std::printf("goal fail\n"); return 2; }
+
+  for (bool fb : {false, true}) {
+    QueryEvalOptions opts;
+    opts.counting_fallback = fb;
+    auto r = EvaluateQuery(*p, &db, *goal, RecursionMethod::kCounting, opts);
+    if (!r.ok()) {
+      std::printf("fallback=%d: ERROR %s\n", fb, r.status().ToString().c_str());
+    } else {
+      std::printf("fallback=%d: ok %zu answers method=%d note=[%s]\n", fb,
+                  r->answers.size(), (int)r->method_used, r->note.c_str());
+    }
+  }
+  return 0;
+}
