@@ -1,0 +1,191 @@
+// Experiment E14 — what semantic pre-optimization buys the optimizer:
+//
+//   (a) adornment-reachability pruning: with a bound goal over a layered
+//       join program, most all-free adornments can never be requested at
+//       run time, so NR-OPT should not spend memo entries or cost
+//       evaluations on them;
+//   (b) dead-rule elimination: rules that are unreachable, statically
+//       unsatisfiable, or subsumed shrink the program before the search
+//       even starts;
+//   (c) the analysis itself must be cheap relative to the optimization it
+//       feeds (dataflow visits scale with predicates, not with the
+//       adornment lattice).
+
+#include <benchmark/benchmark.h>
+
+#include "analysis/analyzer.h"
+#include "ast/parser.h"
+#include "base/strings.h"
+#include "bench_util.h"
+#include "ldl/ldl.h"
+#include "obs/search_trace.h"
+
+namespace ldl {
+namespace {
+
+using bench::Fmt;
+using bench::Stopwatch;
+using bench::Table;
+
+/// Layered join pyramid over one EDB relation: `layers` derived layers of
+/// `width` predicates, each joining two predicates of the layer below.
+/// With a bound goal at the apex, sideways information passing keeps the
+/// first argument bound all the way down — all-free adornments of the
+/// derived predicates are statically unreachable.
+std::string LayeredText(size_t layers, size_t width) {
+  std::string text = "e(1, 2).  e(2, 3).  e(3, 4).  e(4, 5).\n";
+  for (size_t l = 1; l <= layers; ++l) {
+    for (size_t p = 0; p < width; ++p) {
+      auto below = [&](size_t q) {
+        return l == 1 ? std::string("e")
+                      : StrCat("p", l - 1, "_", q % width);
+      };
+      text += StrCat("p", l, "_", p, "(X, Z) <- ", below(p), "(X, Y), ",
+                     below(p + 1), "(Y, Z).\n");
+    }
+  }
+  return text;
+}
+
+/// The layered program plus `dead` rules of each flavor the analyzer can
+/// retire: unreachable from the goal, statically unsatisfiable, subsumed.
+std::string WithDeadRules(size_t layers, size_t width, size_t dead) {
+  std::string text = LayeredText(layers, width);
+  for (size_t d = 0; d < dead; ++d) {
+    text += StrCat("zz_orphan", d, "(X, Y) <- e(X, Y).\n");
+    text += StrCat("p1_0(X, Z) <- e(X, Z), X = zz_sym", d, ".\n");
+    text += StrCat("p1_0(X, Z) <- e(X, Z), e(Z, X).\n");
+  }
+  return text;
+}
+
+struct OptRun {
+  size_t memo = 0;
+  size_t pruned = 0;
+  size_t subplans = 0;
+  size_t cost_evals = 0;
+  double ms = 0;
+};
+
+OptRun RunOptimize(const std::string& text, const std::string& goal,
+                   bool analyze) {
+  SearchTracer tracer;
+  OptimizerOptions options;
+  options.analyze_reachability = analyze;
+  options.eliminate_dead_rules = analyze;
+  options.trace.search = &tracer;
+  LdlSystem sys(options);
+  auto load = sys.LoadProgram(text);
+  if (!load.ok()) return {};
+  Stopwatch watch;
+  auto plan = sys.Plan(goal);
+  OptRun run;
+  run.ms = watch.ElapsedMs();
+  if (!plan.ok()) return run;
+  run.memo = tracer.memo().size();
+  run.subplans = plan->search_stats.subplans_optimized;
+  run.cost_evals = plan->search_stats.cost_evaluations;
+  for (const auto& candidate : tracer.candidates()) {
+    if (candidate.disposition == CandidateDisposition::kPrunedUnreachable) {
+      ++run.pruned;
+    }
+  }
+  return run;
+}
+
+}  // namespace
+
+void PrintExperiment() {
+  bench::Banner("E14", "Semantic pre-optimization — reachability pruning "
+                       "and dead-rule elimination feeding NR-OPT");
+
+  Table pruning({"layers x width", "analysis", "memo entries", "pruned",
+                 "subplans", "cost evals", "ms"});
+  for (auto [layers, width] : {std::pair<size_t, size_t>{2, 2},
+                               std::pair<size_t, size_t>{3, 2},
+                               std::pair<size_t, size_t>{3, 3},
+                               std::pair<size_t, size_t>{4, 3}}) {
+    std::string text = LayeredText(layers, width);
+    std::string goal = StrCat("p", layers, "_0(1, Qz)");
+    for (bool analyze : {false, true}) {
+      OptRun run = RunOptimize(text, goal, analyze);
+      pruning.AddRow({StrCat(layers, " x ", width), analyze ? "on" : "off",
+                      std::to_string(run.memo), std::to_string(run.pruned),
+                      std::to_string(run.subplans),
+                      std::to_string(run.cost_evals), Fmt(run.ms, "%.2f")});
+    }
+  }
+  pruning.Print();
+  std::printf(
+      "Expected shape: with analysis on, the memo lattice loses every\n"
+      "statically unreachable (predicate, adornment) pair and the pruned\n"
+      "column is nonzero; plan answers are unchanged (difftest config\n"
+      "opt:analysis proves that corpus-wide).\n\n");
+
+  Table dead({"dead sets", "rules", "retired", "analyze ms", "dataflow"});
+  for (size_t sets : {0u, 2u, 8u, 32u}) {
+    auto parsed = ParseProgram(WithDeadRules(3, 2, sets));
+    if (!parsed.ok()) continue;
+    ProgramAnalyzer analyzer(*parsed);
+    auto goal = ParseLiteral("p3_0(1, Qz)");
+    Stopwatch watch;
+    ProgramAnalysis analysis = analyzer.Analyze(*goal);
+    double ms = watch.ElapsedMs();
+    DeadRuleElimination pruned = EliminateDeadRules(*parsed, analysis);
+    dead.AddRow({std::to_string(sets),
+                 std::to_string(parsed->rules().size()),
+                 std::to_string(pruned.removed_rules.size()), Fmt(ms, "%.3f"),
+                 StrCat(analysis.type_stats().visits, " visits")});
+  }
+  dead.Print();
+  std::printf(
+      "Expected shape: retired rules grow with the injected dead sets\n"
+      "(orphan + unsatisfiable + subsumed per set) while analysis time\n"
+      "stays in the sub-millisecond range for programs this size.\n\n");
+}
+
+namespace {
+
+void BM_AnalyzeLayered(benchmark::State& state) {
+  auto program = ParseProgram(LayeredText(4, 3));
+  auto goal = ParseLiteral("p4_0(1, Qz)");
+  for (auto _ : state) {
+    ProgramAnalyzer analyzer(*program);
+    benchmark::DoNotOptimize(analyzer.Analyze(*goal));
+  }
+  state.SetLabel("4x3 pyramid");
+}
+BENCHMARK(BM_AnalyzeLayered);
+
+void BM_OptimizeWithAnalysis(benchmark::State& state) {
+  bool analyze = state.range(0) != 0;
+  std::string text = LayeredText(4, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunOptimize(text, "p4_0(1, Qz)", analyze));
+  }
+  state.SetLabel(analyze ? "analysis-on" : "analysis-off");
+}
+BENCHMARK(BM_OptimizeWithAnalysis)->Arg(0)->Arg(1);
+
+void BM_EliminateDeadRules(benchmark::State& state) {
+  auto program = ParseProgram(WithDeadRules(3, 2, 8));
+  auto goal = ParseLiteral("p3_0(1, Qz)");
+  for (auto _ : state) {
+    ProgramAnalyzer analyzer(*program);
+    ProgramAnalysis analysis = analyzer.Analyze(*goal);
+    benchmark::DoNotOptimize(EliminateDeadRules(*program, analysis));
+  }
+  state.SetLabel("8 dead sets");
+}
+BENCHMARK(BM_EliminateDeadRules);
+
+}  // namespace
+}  // namespace ldl
+
+int main(int argc, char** argv) {
+  ldl::PrintExperiment();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  ldl::bench::FlushJson("analysis");
+  return 0;
+}

@@ -1,0 +1,91 @@
+#include "analysis/dataflow.h"
+
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "base/strings.h"
+
+namespace ldl {
+
+const char* DataflowDirectionToString(DataflowDirection direction) {
+  switch (direction) {
+    case DataflowDirection::kBottomUp:
+      return "bottom-up";
+    case DataflowDirection::kTopDown:
+      return "top-down";
+  }
+  return "?";
+}
+
+std::string DataflowStats::ToString() const {
+  return StrCat("dataflow{", visits, " visits, ", rounds, " components, ",
+                widenings, " widenings, ",
+                converged ? "converged" : "NOT converged", "}");
+}
+
+DataflowStats DataflowFramework::Run(DataflowDirection direction,
+                                     const TransferFn& transfer,
+                                     const WidenFn& widen,
+                                     size_t visit_cap) const {
+  DataflowStats stats;
+  const std::vector<std::vector<PredicateId>>& components =
+      graph_.topological_components();
+
+  // Component index per predicate, so the inner worklist can confine
+  // rescheduling to the component being processed: cross-component effects
+  // are handled by the outer topological order.
+  std::unordered_map<PredicateId, size_t, PredicateIdHash> component_of;
+  for (size_t c = 0; c < components.size(); ++c) {
+    for (const PredicateId& pred : components[c]) component_of[pred] = c;
+  }
+
+  for (size_t step = 0; step < components.size(); ++step) {
+    const size_t c = direction == DataflowDirection::kBottomUp
+                         ? step
+                         : components.size() - 1 - step;
+    const std::vector<PredicateId>& members = components[c];
+    ++stats.rounds;
+
+    std::deque<PredicateId> worklist(members.begin(), members.end());
+    std::unordered_set<PredicateId, PredicateIdHash> queued(members.begin(),
+                                                            members.end());
+    std::unordered_map<PredicateId, size_t, PredicateIdHash> visit_count;
+    while (!worklist.empty()) {
+      PredicateId pred = worklist.front();
+      worklist.pop_front();
+      queued.erase(pred);
+
+      size_t& visits = visit_count[pred];
+      if (++visits > visit_cap) {
+        if (widen) {
+          widen(pred);
+          ++stats.widenings;
+          visits = 0;  // widened value still flows to successors below
+        } else {
+          stats.converged = false;
+          continue;  // abandon: the client sees a sound but unstable value
+        }
+      } else {
+        ++stats.visits;
+        if (!transfer(pred)) continue;
+      }
+
+      // The value changed (or was widened): reschedule in-component
+      // successors. Bottom-up successors are the heads that use `pred`;
+      // top-down successors are the predicates `pred`'s rules mention.
+      const std::vector<PredicateId>& successors =
+          direction == DataflowDirection::kBottomUp
+              ? graph_.DependentsOf(pred)
+              : graph_.BodyPredicatesOf(pred);
+      for (const PredicateId& next : successors) {
+        auto it = component_of.find(next);
+        if (it == component_of.end() || it->second != c) continue;
+        if (queued.insert(next).second) worklist.push_back(next);
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace ldl

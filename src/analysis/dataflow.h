@@ -1,0 +1,90 @@
+#ifndef LDLOPT_ANALYSIS_DATAFLOW_H_
+#define LDLOPT_ANALYSIS_DATAFLOW_H_
+
+#include <cstddef>
+#include <functional>
+#include <string>
+
+#include "ast/program.h"
+#include "graph/dependency_graph.h"
+
+namespace ldl {
+
+/// Propagation direction over the predicate dependency graph.
+///  - kBottomUp: information flows from body predicates to the heads that
+///    use them (types, cardinalities). Components are processed in the
+///    graph's bottom-up topological order.
+///  - kTopDown: information flows from heads to the predicates their rules
+///    mention (reachability from a query). Components are processed in
+///    reverse topological order.
+enum class DataflowDirection {
+  kBottomUp,
+  kTopDown,
+};
+
+const char* DataflowDirectionToString(DataflowDirection direction);
+
+/// Telemetry of one fixpoint run.
+struct DataflowStats {
+  size_t visits = 0;      ///< transfer-function applications
+  size_t rounds = 0;      ///< SCC components processed
+  size_t widenings = 0;   ///< widen() calls (visit cap reached)
+  bool converged = true;  ///< false iff some predicate hit the cap with no
+                          ///< widening operator to force termination
+
+  std::string ToString() const;
+};
+
+/// A monotone dataflow framework over the predicate dependency graph.
+///
+/// The framework owns the *schedule*, clients own the *lattice*: each client
+/// keeps its own per-predicate abstract values (a map in the client) and
+/// supplies a pull-style transfer function that recomputes the value of one
+/// predicate from its graph neighbours, returning whether the value changed.
+/// The framework condenses the graph into strongly connected components
+/// (already computed by DependencyGraph), processes the components in
+/// topological order for the chosen direction, and runs a worklist fixpoint
+/// *within* each component — so non-recursive predicates are visited exactly
+/// once and iteration is confined to recursive cliques, where the lattices
+/// actually need it.
+///
+/// Termination: for finite-height lattices a monotone transfer converges on
+/// its own. Clients with unbounded lattices (e.g. cardinality sketches)
+/// supply a widening operator; when a predicate has been visited `visit_cap`
+/// times within its component the framework calls widen(pred) — which must
+/// jump the value to something that stabilizes (typically top) — and keeps
+/// going. With no widening operator the predicate is abandoned and
+/// DataflowStats::converged reports false.
+class DataflowFramework {
+ public:
+  /// Recomputes `pred`'s abstract value from its neighbours' current values;
+  /// returns true iff the value changed (which schedules the successors).
+  using TransferFn = std::function<bool(const PredicateId& pred)>;
+  /// Forces `pred`'s value to a stabilizing over-approximation.
+  using WidenFn = std::function<void(const PredicateId& pred)>;
+
+  /// Per-component visit cap before widening kicks in. Deep recursive
+  /// cliques in generated programs stay well under this.
+  static constexpr size_t kDefaultVisitCap = 64;
+
+  /// Both `program` and `graph` must outlive the framework.
+  DataflowFramework(const Program& program, const DependencyGraph& graph)
+      : program_(program), graph_(graph) {}
+
+  /// Runs the fixpoint: applies `transfer` over every derived predicate
+  /// until stable, in SCC-condensation order for `direction`.
+  DataflowStats Run(DataflowDirection direction, const TransferFn& transfer,
+                    const WidenFn& widen = {},
+                    size_t visit_cap = kDefaultVisitCap) const;
+
+  const Program& program() const { return program_; }
+  const DependencyGraph& graph() const { return graph_; }
+
+ private:
+  const Program& program_;
+  const DependencyGraph& graph_;
+};
+
+}  // namespace ldl
+
+#endif  // LDLOPT_ANALYSIS_DATAFLOW_H_

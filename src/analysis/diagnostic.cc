@@ -1,5 +1,6 @@
 #include "analysis/diagnostic.h"
 
+#include <algorithm>
 #include <sstream>
 
 #include "base/strings.h"
@@ -74,6 +75,16 @@ size_t DiagnosticSink::Count(const std::string& code) const {
     if (d.code == code) n++;
   }
   return n;
+}
+
+void DiagnosticSink::StableSortByLocation() {
+  std::stable_sort(diagnostics_.begin(), diagnostics_.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     if (a.location.rule_index != b.location.rule_index) {
+                       return a.location.rule_index < b.location.rule_index;
+                     }
+                     return a.code < b.code;
+                   });
 }
 
 std::string DiagnosticSink::ToString() const {

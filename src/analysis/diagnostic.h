@@ -80,6 +80,12 @@ class DiagnosticSink {
   /// Number of diagnostics carrying `code`.
   size_t Count(const std::string& code) const;
 
+  /// Reorders diagnostics into a deterministic presentation order: by rule
+  /// index (rule-less diagnostics last), then by code; emission order is
+  /// preserved within ties (stable sort). Passes that iterate hash maps can
+  /// emit in any order and let callers normalize before printing.
+  void StableSortByLocation();
+
   /// One diagnostic per line.
   std::string ToString() const;
 

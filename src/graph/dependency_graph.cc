@@ -35,10 +35,14 @@ class Tarjan {
 
   /// Returns components in reverse topological order of the condensation
   /// (i.e., a component is emitted after everything it depends on... Tarjan
-  /// emits components such that successors are emitted first).
-  std::vector<std::vector<PredicateId>> Run() {
-    for (const auto& [node, _] : graph_) {
-      if (!index_.count(node)) Visit(node);
+  /// emits components such that successors are emitted first). Roots are
+  /// visited in the given order, NOT hash order, so component ids (and with
+  /// them clique indices and the topological tie-break) are deterministic
+  /// across runs and platforms.
+  std::vector<std::vector<PredicateId>> Run(
+      const std::vector<PredicateId>& roots) {
+    for (const PredicateId& node : roots) {
+      if (graph_.count(node) && !index_.count(node)) Visit(node);
     }
     return components_;
   }
@@ -118,7 +122,8 @@ DependencyGraph DependencyGraph::Build(const Program& program) {
   // it. With edges body->head, the first emitted components are the "top"
   // queries. We therefore reverse to get bottom-up order.
   Tarjan tarjan(graph);
-  std::vector<std::vector<PredicateId>> components = tarjan.Run();
+  std::vector<std::vector<PredicateId>> components =
+      tarjan.Run(program.DerivedPredicates());  // sorted roots: determinism
   // Determine component ids.
   for (size_t c = 0; c < components.size(); ++c) {
     for (const PredicateId& pred : components[c]) {
@@ -256,7 +261,27 @@ DependencyGraph DependencyGraph::Build(const Program& program) {
     g.depends_[pred] = std::vector<PredicateId>(visited.begin(), visited.end());
   }
 
+  // Keep the direct adjacency around for dataflow clients. `graph` holds
+  // the body -> head edges (including ensured empty nodes), `uses` the
+  // reverse; both were built in deterministic rule order.
+  g.uses_ = std::move(uses);
+  g.dependents_ = std::move(graph);
+
   return g;
+}
+
+const std::vector<PredicateId>& DependencyGraph::BodyPredicatesOf(
+    const PredicateId& head) const {
+  static const std::vector<PredicateId> kEmpty;
+  auto it = uses_.find(head);
+  return it == uses_.end() ? kEmpty : it->second;
+}
+
+const std::vector<PredicateId>& DependencyGraph::DependentsOf(
+    const PredicateId& body) const {
+  static const std::vector<PredicateId> kEmpty;
+  auto it = dependents_.find(body);
+  return it == dependents_.end() ? kEmpty : it->second;
 }
 
 bool DependencyGraph::IsRecursive(const PredicateId& pred) const {

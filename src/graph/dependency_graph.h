@@ -68,6 +68,15 @@ class DependencyGraph {
   /// the paper's `used => user` implication.
   bool DependsOn(const PredicateId& user, const PredicateId& used) const;
 
+  /// Direct adjacency exports for dataflow clients (analysis/dataflow.h).
+  /// Derived body predicates of `head`'s rules, in rule/body order (one
+  /// entry per occurrence, duplicates preserved). Empty for unknown preds.
+  const std::vector<PredicateId>& BodyPredicatesOf(
+      const PredicateId& head) const;
+  /// Derived heads whose rules mention `body` positively or negated, in
+  /// rule order (one entry per occurrence). Empty for unknown preds.
+  const std::vector<PredicateId>& DependentsOf(const PredicateId& body) const;
+
   std::string ToString() const;
 
  private:
@@ -87,6 +96,11 @@ class DependencyGraph {
   // derived predicates it depends on.
   std::unordered_map<PredicateId, std::vector<PredicateId>, PredicateIdHash>
       depends_;
+  // Direct adjacency, both directions (see BodyPredicatesOf/DependentsOf).
+  std::unordered_map<PredicateId, std::vector<PredicateId>, PredicateIdHash>
+      uses_;        // head -> derived body predicates
+  std::unordered_map<PredicateId, std::vector<PredicateId>, PredicateIdHash>
+      dependents_;  // body -> derived heads using it
   Status stratified_ = Status::OK();
 };
 

@@ -1,5 +1,6 @@
 #include "ldl/ldl.h"
 
+#include "analysis/analyzer.h"
 #include "base/strings.h"
 #include "obs/search_trace.h"
 #include "optimizer/project_pushdown.h"
@@ -58,10 +59,46 @@ Result<Program> LdlSystem::EffectiveProgram(const Literal& goal) const {
   return program_;
 }
 
+Result<LdlSystem::GoalContext> LdlSystem::PrepareGoal(const Literal& goal) {
+  GoalContext ctx;
+  ctx.options = options_;
+  LDL_ASSIGN_OR_RETURN(ctx.working, EffectiveProgram(goal));
+  const bool wants_analysis =
+      options_.analyze_reachability || options_.eliminate_dead_rules;
+  if (!wants_analysis || ctx.options.analysis != nullptr ||
+      !program_.IsDerived(goal.predicate())) {
+    return ctx;
+  }
+
+  AnalyzerOptions aopts;
+  aopts.database = &db_;
+  aopts.statistics = &stats_;
+
+  if (options_.eliminate_dead_rules) {
+    ProgramAnalyzer analyzer(ctx.working, aopts);
+    DeadRuleElimination pruned =
+        EliminateDeadRules(ctx.working, analyzer.Analyze(goal));
+    if (!pruned.removed_rules.empty()) {
+      ctx.working = std::move(pruned.program);
+    }
+  }
+  if (options_.analyze_reachability) {
+    // Analyze the (possibly pruned) working program so the reachable set
+    // and rule indices match what the optimizer actually sees.
+    ProgramAnalyzer analyzer(ctx.working, aopts);
+    ctx.analysis = std::make_unique<ProgramAnalysis>(analyzer.Analyze(goal));
+    ctx.options.analysis = ctx.analysis.get();
+    if (ctx.options.trace.metrics != nullptr) {
+      ctx.analysis->ExportTo(ctx.options.trace.metrics);
+    }
+  }
+  return ctx;
+}
+
 Result<QueryPlan> LdlSystem::Plan(const Literal& goal) {
   if (stats_dirty_) RefreshStatistics();
-  LDL_ASSIGN_OR_RETURN(Program working, EffectiveProgram(goal));
-  Optimizer optimizer(working, stats_, options_);
+  LDL_ASSIGN_OR_RETURN(GoalContext ctx, PrepareGoal(goal));
+  Optimizer optimizer(ctx.working, stats_, ctx.options);
   return optimizer.Optimize(goal);
 }
 
@@ -84,11 +121,11 @@ Result<QueryAnswer> LdlSystem::Query(const Literal& goal) {
     return answer;
   }
 
-  // Plan and execute against the same (possibly projection-rewritten)
-  // program: the plan's rule indices refer to it.
+  // Plan and execute against the same (possibly projection-rewritten,
+  // possibly dead-rule-pruned) program: the plan's rule indices refer to it.
   if (stats_dirty_) RefreshStatistics();
-  LDL_ASSIGN_OR_RETURN(Program working, EffectiveProgram(goal));
-  Optimizer optimizer(working, stats_, options_);
+  LDL_ASSIGN_OR_RETURN(GoalContext ctx, PrepareGoal(goal));
+  Optimizer optimizer(ctx.working, stats_, ctx.options);
   LDL_ASSIGN_OR_RETURN(QueryPlan plan, optimizer.Optimize(goal));
   if (!plan.safe) {
     return Status::Unsafe(StrCat("query ", goal.ToString(),
@@ -104,7 +141,7 @@ Result<QueryAnswer> LdlSystem::Query(const Literal& goal) {
                                            plan.rule_orders.end());
   LDL_ASSIGN_OR_RETURN(
       QueryResult result,
-      EvaluateQuery(working, &db_, goal, plan.top_method, eval_options));
+      EvaluateQuery(ctx.working, &db_, goal, plan.top_method, eval_options));
 
   QueryAnswer answer;
   answer.answers = std::move(result.answers);
@@ -117,33 +154,32 @@ Result<QueryAnswer> LdlSystem::Query(const Literal& goal) {
 Result<std::string> LdlSystem::Explain(std::string_view goal_text) {
   LDL_ASSIGN_OR_RETURN(Literal goal, ParseLiteral(goal_text));
   if (stats_dirty_) RefreshStatistics();
-  LDL_ASSIGN_OR_RETURN(Program working, EffectiveProgram(goal));
-  Optimizer optimizer(working, stats_, options_);
+  LDL_ASSIGN_OR_RETURN(GoalContext ctx, PrepareGoal(goal));
+  Optimizer optimizer(ctx.working, stats_, ctx.options);
   LDL_ASSIGN_OR_RETURN(QueryPlan plan, optimizer.Optimize(goal));
-  return plan.Explain(working);
+  return plan.Explain(ctx.working);
 }
 
 Result<std::string> LdlSystem::ExplainOptimize(std::string_view goal_text) {
   LDL_ASSIGN_OR_RETURN(Literal goal, ParseLiteral(goal_text));
   if (stats_dirty_) RefreshStatistics();
-  LDL_ASSIGN_OR_RETURN(Program working, EffectiveProgram(goal));
+  LDL_ASSIGN_OR_RETURN(GoalContext ctx, PrepareGoal(goal));
   SearchTracer local;
-  OptimizerOptions opts = options_;
-  if (opts.trace.search == nullptr) opts.trace.search = &local;
-  Optimizer optimizer(working, stats_, opts);
+  if (ctx.options.trace.search == nullptr) ctx.options.trace.search = &local;
+  Optimizer optimizer(ctx.working, stats_, ctx.options);
   LDL_ASSIGN_OR_RETURN(QueryPlan plan, optimizer.Optimize(goal));
-  std::string out = plan.Explain(working);
-  StrAppend(&out, "\n", RenderExplainOptimize(*opts.trace.search));
+  std::string out = plan.Explain(ctx.working);
+  StrAppend(&out, "\n", RenderExplainOptimize(*ctx.options.trace.search));
   return out;
 }
 
 Result<std::string> LdlSystem::ExplainTree(std::string_view goal_text) {
   LDL_ASSIGN_OR_RETURN(Literal goal, ParseLiteral(goal_text));
   if (stats_dirty_) RefreshStatistics();
-  LDL_ASSIGN_OR_RETURN(Program working, EffectiveProgram(goal));
+  LDL_ASSIGN_OR_RETURN(GoalContext ctx, PrepareGoal(goal));
   LDL_ASSIGN_OR_RETURN(std::unique_ptr<PlanNode> tree,
-                       BuildProcessingTree(working, goal));
-  Optimizer optimizer(working, stats_, options_);
+                       BuildProcessingTree(ctx.working, goal));
+  Optimizer optimizer(ctx.working, stats_, ctx.options);
   LDL_RETURN_NOT_OK(optimizer.AnnotateTree(tree.get()));
   return tree->ToString();
 }
@@ -157,10 +193,11 @@ Result<LdlSystem::AnalyzeResult> LdlSystem::AnalyzeCalibrated(
     std::string_view goal_text) {
   LDL_ASSIGN_OR_RETURN(Literal goal, ParseLiteral(goal_text));
   if (stats_dirty_) RefreshStatistics();
-  LDL_ASSIGN_OR_RETURN(Program working, EffectiveProgram(goal));
+  LDL_ASSIGN_OR_RETURN(GoalContext ctx, PrepareGoal(goal));
+  const Program& working = ctx.working;
   // Optimize first: the chosen QueryPlan feeds the regret analysis, and an
   // unsafe plan must not reach the interpreter (it may not terminate).
-  Optimizer optimizer(working, stats_, options_);
+  Optimizer optimizer(working, stats_, ctx.options);
   LDL_ASSIGN_OR_RETURN(QueryPlan plan, optimizer.Optimize(goal));
   if (!plan.safe) {
     return Status::Unsafe(StrCat("query ", goal.ToString(),
@@ -188,7 +225,7 @@ Result<LdlSystem::AnalyzeResult> LdlSystem::AnalyzeCalibrated(
   MeasuredStatistics measured =
       HarvestMeasuredStatistics(*tree, interpreter.profile());
   report.set_regret(
-      ComputePlanRegret(working, stats_, options_, goal, plan, measured));
+      ComputePlanRegret(working, stats_, ctx.options, goal, plan, measured));
   report.ExportTo(options_.trace.metrics);
   StrAppend(&out, "\n", report.ToString());
 

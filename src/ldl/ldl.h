@@ -1,6 +1,7 @@
 #ifndef LDLOPT_LDL_LDL_H_
 #define LDLOPT_LDL_LDL_H_
 
+#include <memory>
 #include <string>
 #include <string_view>
 
@@ -15,6 +16,8 @@
 #include "storage/statistics.h"
 
 namespace ldl {
+
+class ProgramAnalysis;
 
 /// Answers plus the plan that produced them and the work it took.
 struct QueryAnswer {
@@ -130,6 +133,19 @@ class LdlSystem {
   /// optionally rewritten by the [RBK 87] projection-pushing pass for this
   /// goal (options_.push_projections).
   Result<Program> EffectiveProgram(const Literal& goal) const;
+
+  /// Everything one Plan/Query/Explain call needs: the effective program
+  /// (projection-pushed, optionally dead-rule-pruned), the semantic
+  /// analysis of that program for this goal when static analysis is
+  /// enabled, and a per-call copy of the optimizer options whose `analysis`
+  /// pointer refers into this context. The context must outlive the
+  /// Optimizer built from it — keep it on the caller's stack.
+  struct GoalContext {
+    Program working;
+    std::unique_ptr<ProgramAnalysis> analysis;
+    OptimizerOptions options;
+  };
+  Result<GoalContext> PrepareGoal(const Literal& goal);
 
   OptimizerOptions options_;
   Program program_;

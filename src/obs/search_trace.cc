@@ -18,6 +18,8 @@ const char* CandidateDispositionToString(CandidateDisposition d) {
       return "pruned-unsafe";
     case CandidateDisposition::kMemoHit:
       return "memo-hit";
+    case CandidateDisposition::kPrunedUnreachable:
+      return "pruned-unreachable";
   }
   return "?";
 }

@@ -22,6 +22,8 @@ enum class CandidateDisposition : uint8_t {
   kPrunedBound,   ///< abandoned: prefix already costs >= the best bound
   kPrunedUnsafe,  ///< abandoned at infinite cost (EC violation, section 8.2)
   kMemoHit,       ///< answered from the (predicate, adornment) memo
+  kPrunedUnreachable,  ///< skipped: static analysis proved the adornment
+                       ///< unreachable from the query (analysis/analyzer.h)
 };
 
 const char* CandidateDispositionToString(CandidateDisposition d);

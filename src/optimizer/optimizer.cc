@@ -6,6 +6,7 @@
 #include <set>
 #include <sstream>
 
+#include "analysis/analyzer.h"
 #include "analysis/plan_verifier.h"
 #include "base/strings.h"
 #include "engine/counting.h"
@@ -22,6 +23,8 @@ void PlanSearchStats::ExportTo(MetricsRegistry* metrics) const {
   metrics->counter("optimizer.memo_hits")->Increment(memo_hits);
   metrics->counter("optimizer.memo_misses")->Increment(memo_misses);
   metrics->counter("optimizer.prunes_unsafe")->Increment(prunes_unsafe);
+  metrics->counter("optimizer.prunes_unreachable")
+      ->Increment(prunes_unreachable);
   metrics->histogram("optimizer.search_wall_ms")->Record(search_wall_ms);
 }
 
@@ -54,6 +57,24 @@ Optimizer::Optimizer(const Program& program, const Statistics& stats,
 SearchTracer* Optimizer::Tracing() const {
   SearchTracer* st = options_.trace.search;
   return (st != nullptr && st->enabled()) ? st : nullptr;
+}
+
+bool Optimizer::Unreachable(const AdornedPredicate& ap) const {
+  return options_.analysis != nullptr &&
+         !options_.analysis->AdornmentReachable(ap);
+}
+
+Optimizer::Subplan Optimizer::PrunedSubplan(const AdornedPredicate& ap) {
+  // Safe and costless on purpose: these placeholders only ever answer
+  // estimation probes (the KBZ parameter / materialization all-free
+  // lookups); the reachability closure guarantees no winning plan path
+  // consumes one. The cardinality comes from the analysis sketch so the
+  // probe still sees a plausible magnitude.
+  Subplan sub;
+  sub.est.safe = true;
+  sub.est.card = options_.analysis->CardinalityBound(ap.pred);
+  sub.note = "statically unreachable adornment";
+  return sub;
 }
 
 void Optimizer::TraceMemoNode(std::string_view key,
@@ -112,7 +133,12 @@ ConjunctItem Optimizer::MakeItem(const Literal& lit, Subplan* parent) {
   // Derived literal: back the estimate with the (predicate, binding) memo.
   // MP: the estimate picks pipelined vs materialized per outer cardinality.
   const PredicateId pred = lit.predicate();
-  if (parent != nullptr) {
+  // When the static analysis proved the all-free adornment unreachable the
+  // lattice edge is dropped too: the memoized plan never evaluates this
+  // child free, so the dependency would be fictitious.
+  const bool free_reachable =
+      !Unreachable({pred, Adornment::AllFree(pred.arity)});
+  if (parent != nullptr && free_reachable) {
     parent->children.push_back({pred, Adornment::AllFree(pred.arity)});
   }
   const bool consider_mat = options_.consider_materialization;
@@ -126,11 +152,15 @@ ConjunctItem Optimizer::MakeItem(const Literal& lit, Subplan* parent) {
     item.distinct.assign(pred.arity,
                          std::max(1.0, std::pow(full.est.card, 0.8)));
   }
-  item.estimate = [this, pred, consider_mat, cost](
+  item.estimate = [this, pred, consider_mat, free_reachable, cost](
                       const Adornment& adn, double outer_card) {
     Subplan pipelined = OptimizePredicate({pred, adn});
     PlanEstimate best = pipelined.est;
-    if (consider_mat && adn.BoundCount() > 0) {
+    // The materialized alternative computes the child's FULL extension;
+    // when the free adornment is statically unreachable its subplan is a
+    // costless placeholder that must not be allowed to win (it would drive
+    // an un-analyzed — possibly unsafe — free fixpoint at execution).
+    if (consider_mat && free_reachable && adn.BoundCount() > 0) {
       Subplan full =
           OptimizePredicate({pred, Adornment::AllFree(pred.arity)});
       if (full.est.safe) {
@@ -157,6 +187,18 @@ ConjunctItem Optimizer::MakeItem(const Literal& lit, Subplan* parent) {
 }
 
 Optimizer::Subplan Optimizer::OptimizePredicate(const AdornedPredicate& ap) {
+  // Static pruning (analysis/analyzer.h): adornments outside the query's
+  // reachable closure are answered with a placeholder instead of being
+  // optimized — and deliberately NOT memoized, so the memo lattice (and
+  // Figure 7-1's per-binding table) shrinks by exactly these entries.
+  if (Unreachable(ap)) {
+    search_stats_.prunes_unreachable++;
+    if (SearchTracer* st = Tracing()) {
+      st->RecordCandidate({}, 0.0, CandidateDisposition::kPrunedUnreachable,
+                          ap.ToString());
+    }
+    return PrunedSubplan(ap);
+  }
   if (options_.memoize) {
     auto it = memo_.find(ap);
     if (it != memo_.end()) {
@@ -316,7 +358,10 @@ Optimizer::Subplan Optimizer::OptimizeRule(size_t rule_index,
           program_.IsDerived(lit.predicate())) {
         Adornment adn = AdornLiteral(lit, state.bound);
         plan.children.push_back({lit.predicate(), adn});
-        if (options_.consider_materialization && adn.BoundCount() > 0) {
+        // Same gate as MakeItem's estimate: a statically-unreachable free
+        // adornment must not be materialized (its subplan is a placeholder).
+        if (options_.consider_materialization && adn.BoundCount() > 0 &&
+            !Unreachable({lit.predicate(), Adornment::AllFree(lit.arity())})) {
           Subplan pipelined = OptimizePredicate({lit.predicate(), adn});
           Subplan full = OptimizePredicate(
               {lit.predicate(), Adornment::AllFree(lit.arity())});
@@ -827,7 +872,11 @@ std::string QueryPlan::Explain(const Program& program) const {
   os << "SEARCH  " << search_stats.cost_evaluations << " cost evaluations, "
      << search_stats.subplans_optimized << " subplans, "
      << search_stats.memo_hits << " memo hits, "
-     << search_stats.prunes_unsafe << " unsafe prunes\n";
+     << search_stats.prunes_unsafe << " unsafe prunes";
+  if (search_stats.prunes_unreachable > 0) {
+    os << ", " << search_stats.prunes_unreachable << " unreachable prunes";
+  }
+  os << "\n";
   return os.str();
 }
 

@@ -21,6 +21,8 @@
 
 namespace ldl {
 
+class ProgramAnalysis;
+
 /// Decisions of a previously chosen plan, pinned so a fresh Optimizer run
 /// can *cost* that plan under a different model instead of searching — the
 /// mechanism behind plan-regret analysis (obs/calibration.h): cost the
@@ -97,6 +99,26 @@ struct OptimizerOptions {
   /// so this run costs that plan instead of searching. Non-owning; must
   /// outlive the optimizer.
   const PlanConstraints* pinned = nullptr;
+
+  /// LdlSystem-level switch: run ProgramAnalyzer on the (goal, program)
+  /// pair before optimizing and attach the result as `analysis`, so the
+  /// search skips memoizing adornments the static pass proved unreachable.
+  /// Ignored by the Optimizer itself (it only reads `analysis`).
+  bool analyze_reachability = false;
+
+  /// LdlSystem-level switch: strip statically dead rules (unreachable from
+  /// the goal, unsatisfiable, subsumed) from the working program before
+  /// optimizing. Implies a fresh per-goal analysis; see
+  /// analysis/analyzer.h for the answer-preservation argument.
+  bool eliminate_dead_rules = false;
+
+  /// Goal-directed static analysis consulted during the search: candidate
+  /// (predicate, adornment) pairs outside its reachable set are answered
+  /// with a shallow unmemoized subplan (disposition pruned-unreachable)
+  /// instead of being optimized. Non-owning; must outlive the optimizer
+  /// and describe the SAME program and goal. Normally set by LdlSystem
+  /// when analyze_reachability is on.
+  const ProgramAnalysis* analysis = nullptr;
 };
 
 /// Search-effort accounting, the currency of experiments E2/E3/E6.
@@ -106,6 +128,9 @@ struct PlanSearchStats {
   size_t memo_hits = 0;
   size_t memo_misses = 0;   ///< memo lookups that had to optimize fresh
   size_t prunes_unsafe = 0;  ///< subplans discarded at infinite cost (§8.2)
+  size_t prunes_unreachable = 0;  ///< subplans skipped because the static
+                                  ///< analysis proved the adornment
+                                  ///< unreachable from the query
   double search_wall_ms = 0;  ///< wall time spent inside Optimize calls
 
   /// Adds the stats into the registry under the optimizer.* names.
@@ -216,6 +241,14 @@ class Optimizer {
   /// statistics; derived literals backed by OptimizePredicate (pipelined)
   /// and, when enabled, the materialized alternative.
   ConjunctItem MakeItem(const Literal& lit, Subplan* parent);
+
+  /// True iff the attached static analysis proved `ap` unreachable from
+  /// the query (never true without options_.analysis).
+  bool Unreachable(const AdornedPredicate& ap) const;
+  /// The shallow placeholder subplan returned for pruned-unreachable
+  /// adornments: safe, costless, carded from the analysis sketch, never
+  /// memoized.
+  Subplan PrunedSubplan(const AdornedPredicate& ap);
 
   /// The attached-and-enabled search tracer, or nullptr. Sites must only
   /// build labels/keys after this returns non-null (disabled tracing must

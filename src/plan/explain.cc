@@ -1,6 +1,7 @@
 #include "plan/explain.h"
 
 #include <cstdio>
+#include <iterator>
 #include <sstream>
 #include <vector>
 
@@ -135,7 +136,8 @@ std::string RenderExplainOptimize(const SearchTracer& tracer,
   constexpr CandidateDisposition kAll[] = {
       CandidateDisposition::kKept, CandidateDisposition::kDominated,
       CandidateDisposition::kPrunedBound, CandidateDisposition::kPrunedUnsafe,
-      CandidateDisposition::kMemoHit};
+      CandidateDisposition::kMemoHit,
+      CandidateDisposition::kPrunedUnreachable};
   os << "  " << tracer.candidates().size() << " candidates recorded";
   if (tracer.dropped_candidates() > 0) {
     os << " (+" << tracer.dropped_candidates() << " dropped at cap)";
@@ -144,7 +146,7 @@ std::string RenderExplainOptimize(const SearchTracer& tracer,
   for (CandidateDisposition d : kAll) {
     os << " " << tracer.CountDisposition(d) << " "
        << CandidateDispositionToString(d);
-    if (d != CandidateDisposition::kMemoHit) os << ",";
+    if (d != kAll[std::size(kAll) - 1]) os << ",";
   }
   os << "\n\n";
 

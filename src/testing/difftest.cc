@@ -348,6 +348,17 @@ DiffOutcome RunDifferential(const GeneratedProgram& prog,
       nopush.verify_plans = true;
       RecordAnswers(&h, &out, "opt:exhaustive:nopush",
                     EvalOptimized(&sys, prog.query, nopush));
+      // Semantic pre-optimization on: dead rules eliminated, statically
+      // unreachable adornments pruned from the search. Must be invisible
+      // in the answer set, and the resulting plans must still verify.
+      if (options.run_analysis_pruned) {
+        OptimizerOptions analyzed;
+        analyzed.analyze_reachability = true;
+        analyzed.eliminate_dead_rules = true;
+        analyzed.verify_plans = true;
+        RecordAnswers(&h, &out, "opt:analysis",
+                      EvalOptimized(&sys, prog.query, analyzed));
+      }
     }
   }
 

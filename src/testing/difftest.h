@@ -50,6 +50,11 @@ struct DiffTestOptions {
       SearchStrategy::kLexicographic};
   bool run_tree_interpreter = true;
   bool run_metamorphic = true;
+  /// Adds an "opt:analysis" configuration: exhaustive search with the
+  /// semantic pre-optimization passes on (dead-rule elimination +
+  /// adornment-reachability pruning) and plan verification. Proves the
+  /// analyses answer-preserving over the generated corpus.
+  bool run_analysis_pruned = true;
   /// Fault injected into a shadow configuration ("fault:..."): the shadow
   /// evaluates the mutated program and must be flagged as a mismatch —
   /// end-to-end proof the oracle can see and the shrinker can minimize.

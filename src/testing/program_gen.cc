@@ -293,6 +293,33 @@ GeneratedProgram GenerateProgram(Rng* rng, const ProgramGenOptions& options) {
       top, {bound1 ? pick_constant() : V("Qx"),
             bound2 ? pick_constant() : V("Qy")});
 
+  // --- statically dead clauses (analysis targets) --------------------------
+  // Drawn last, and only when enabled, so the default configuration's rng
+  // stream — and therefore every existing seed's program — is unchanged.
+  bool has_dead_rule =
+      options.dead_rule_probability > 0 &&
+      rng->UniformDouble() < options.dead_rule_probability;
+  if (has_dead_rule) {
+    // An exit rule that derives nothing: X ranges over the (numeric) EDB
+    // but is then equated to a symbol. Run-time semantics are unaffected;
+    // the analyzer flags the sort conflict and elimination drops the rule.
+    out.rules.emplace_back(
+        Edge(t, V("X"), V("Y")),
+        std::vector<Literal>{
+            Edge(pick_edb(), V("X"), V("Y")),
+            Literal::MakeBuiltin(BuiltinKind::kEq, V("X"),
+                                 Term::MakeSymbol("zz_dead"))});
+  }
+  bool has_unreachable =
+      options.unreachable_predicate_probability > 0 &&
+      rng->UniformDouble() < options.unreachable_predicate_probability;
+  if (has_unreachable) {
+    // A derived predicate nothing references: unreachable from any query.
+    out.rules.emplace_back(
+        Edge("zz_unreach", V("X"), V("Y")),
+        std::vector<Literal>{Edge(pick_edb(), V("X"), V("Y"))});
+  }
+
   // --- summary -------------------------------------------------------------
   std::string shape_list;
   for (size_t i = 0; i < shapes.size(); ++i) {
@@ -301,7 +328,8 @@ GeneratedProgram GenerateProgram(Rng* rng, const ProgramGenOptions& options) {
   out.summary = StrCat(
       "shape=", shape_list, " rec=", RecursionKindToString(rec),
       has_view ? " view" : "", has_builtin ? " builtin" : "",
-      has_negation ? " neg" : "", " adorn=", bound1 ? "b" : "f",
+      has_negation ? " neg" : "", has_dead_rule ? " dead" : "",
+      has_unreachable ? " unreach" : "", " adorn=", bound1 ? "b" : "f",
       bound2 ? "b" : "f");
   return out;
 }

@@ -66,6 +66,18 @@ struct ProgramGenOptions {
   /// argument bound as well) — both-bound is a boolean query.
   double bound_query_probability = 0.55;
   double second_bound_probability = 0.15;
+  /// Probability of injecting a statically dead rule: an extra exit rule
+  /// whose body carries a sort-conflicting builtin (`X = zz_dead` where X
+  /// ranges over the numeric EDB), so it derives nothing at run time and
+  /// the semantic analyzer proves it unsatisfiable. Exercises dead-rule
+  /// elimination in the differential matrix: answers must not change.
+  /// Off (0.0) by default to preserve existing seed -> program mappings.
+  double dead_rule_probability = 0.0;
+  /// Probability of injecting an unreachable derived predicate
+  /// (`zz_unreach(X,Y) <- e0(X,Y).` with nothing referring to it) that
+  /// reachability-based dead-rule elimination must drop.
+  /// Off (0.0) by default to preserve existing seed -> program mappings.
+  double unreachable_predicate_probability = 0.0;
 };
 
 /// One generated program: stratified rules, a random EDB state, and one

@@ -1,0 +1,426 @@
+// Semantic program analysis (analysis/analyzer.h): type/sort inference with
+// the L011..L014 lints, adornment reachability, dead-rule collection and
+// elimination, and the optimizer integration (pruned-unreachable search
+// candidates, smaller memo lattices, unchanged answers).
+
+#include "analysis/analyzer.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostic.h"
+#include "ast/parser.h"
+#include "engine/query_eval.h"
+#include "ldl/ldl.h"
+#include "obs/metrics.h"
+#include "obs/search_trace.h"
+#include "storage/database.h"
+
+namespace ldl {
+namespace {
+
+Program Parse(const std::string& text) {
+  auto parsed = ParseProgram(text);
+  EXPECT_TRUE(parsed.ok()) << parsed.status();
+  return *parsed;
+}
+
+Literal Goal(const std::string& text) {
+  auto goal = ParseLiteral(text);
+  EXPECT_TRUE(goal.ok()) << goal.status();
+  return *goal;
+}
+
+AdornedPredicate Ap(const std::string& name, const std::string& adornment) {
+  auto adn = Adornment::FromString(adornment);
+  EXPECT_TRUE(adn.ok());
+  return {{name, adn->size()}, *adn};
+}
+
+// ---------------------------------------------------------------------------
+// Type inference
+
+TEST(AnalyzerTypesTest, InfersColumnSortsBottomUp) {
+  Program program = Parse(R"(
+    e(1, 2).  e(2, 3).
+    name(1, ann).  name(2, bob).
+    t(X, Y) <- e(X, Y).
+    labeled(X, N) <- t(X, _Y), name(X, N).
+  )");
+  ProgramAnalysis a = ProgramAnalyzer(program).AnalyzeProgram();
+
+  const std::vector<TypeSet>& t_cols = a.TypesOf({"t", 2});
+  ASSERT_EQ(t_cols.size(), 2u);
+  EXPECT_EQ(t_cols[0], TypeSet(TypeSet::kNumeric));
+  EXPECT_EQ(t_cols[1], TypeSet(TypeSet::kNumeric));
+
+  const std::vector<TypeSet>& l_cols = a.TypesOf({"labeled", 2});
+  ASSERT_EQ(l_cols.size(), 2u);
+  EXPECT_EQ(l_cols[0], TypeSet(TypeSet::kNumeric));
+  EXPECT_EQ(l_cols[1], TypeSet(TypeSet::kSymbol));
+  EXPECT_TRUE(a.type_stats().converged);
+}
+
+TEST(AnalyzerTypesTest, MixedColumnsJoinAcrossFactsAndRules) {
+  Program program = Parse(R"(
+    m(1).  m(foo).
+    n(X) <- m(X).
+  )");
+  ProgramAnalysis a = ProgramAnalyzer(program).AnalyzeProgram();
+  const std::vector<TypeSet>& cols = a.TypesOf({"n", 1});
+  ASSERT_EQ(cols.size(), 1u);
+  EXPECT_EQ(cols[0], TypeSet(TypeSet::kNumeric | TypeSet::kSymbol));
+  EXPECT_EQ(cols[0].ToString(), "{num,sym}");
+}
+
+TEST(AnalyzerTypesTest, RecursiveCliqueTypesConverge) {
+  Program program = Parse(R"(
+    e(1, 2).
+    t(X, Y) <- e(X, Y).
+    t(X, Y) <- e(X, Z), t(Z, Y).
+  )");
+  ProgramAnalysis a = ProgramAnalyzer(program).AnalyzeProgram();
+  const std::vector<TypeSet>& cols = a.TypesOf({"t", 2});
+  ASSERT_EQ(cols.size(), 2u);
+  EXPECT_EQ(cols[0], TypeSet(TypeSet::kNumeric));
+  EXPECT_EQ(cols[1], TypeSet(TypeSet::kNumeric));
+  EXPECT_TRUE(a.type_stats().converged);
+}
+
+// ---------------------------------------------------------------------------
+// Lints L011..L014
+
+TEST(AnalyzerLintTest, L011FlagsSortIncompatibleConstantArgument) {
+  Program program = Parse(R"(
+    e(1, 2).  e(2, 3).
+    p(X) <- e(X, foo).
+  )");
+  DiagnosticSink sink;
+  ProgramAnalyzer(program).Lint(&sink);
+  EXPECT_TRUE(sink.Has("L011")) << sink.ToString();
+  ProgramAnalysis a = ProgramAnalyzer(program).AnalyzeProgram();
+  EXPECT_TRUE(a.RuleUnsatisfiable(0));
+}
+
+TEST(AnalyzerLintTest, L012FlagsGroundComparisonAlwaysFalse) {
+  Program program = Parse(R"(
+    e(1, 2).
+    p(X) <- e(X, _Y), 1 > 2.
+  )");
+  DiagnosticSink sink;
+  ProgramAnalyzer(program).Lint(&sink);
+  EXPECT_TRUE(sink.Has("L012")) << sink.ToString();
+}
+
+TEST(AnalyzerLintTest, L012FlagsCrossSortComparisonAlwaysFalse) {
+  // Y ranges over numbers; in the engine's term order no number is greater
+  // than a symbol, so Y > foo can never hold.
+  Program program = Parse(R"(
+    e(1, 2).
+    p(X) <- e(X, Y), Y > foo.
+  )");
+  DiagnosticSink sink;
+  ProgramAnalyzer(program).Lint(&sink);
+  EXPECT_TRUE(sink.Has("L012")) << sink.ToString();
+  // The same comparison the other way around is possible (num < sym).
+  Program ok_program = Parse(R"(
+    e(1, 2).
+    p(X) <- e(X, Y), Y < foo.
+  )");
+  DiagnosticSink ok_sink;
+  ProgramAnalyzer(ok_program).Lint(&ok_sink);
+  EXPECT_FALSE(ok_sink.Has("L012")) << ok_sink.ToString();
+}
+
+TEST(AnalyzerLintTest, L013FlagsContradictorySortConstraints) {
+  // X is numeric via e's first column and a symbol via the equation.
+  Program program = Parse(R"(
+    e(1, 2).
+    p(X) <- e(X, _Y), X = foo.
+  )");
+  DiagnosticSink sink;
+  ProgramAnalyzer(program).Lint(&sink);
+  EXPECT_TRUE(sink.Has("L013")) << sink.ToString();
+}
+
+TEST(AnalyzerLintTest, L014FlagsSubsumedRule) {
+  // Rule 1's body is a superset of rule 0's under the identity substitution:
+  // everything it derives, rule 0 derives already.
+  Program program = Parse(R"(
+    e(1, 2).
+    s(X, Y) <- e(X, Y).
+    s(X, Y) <- e(X, Y), e(Y, X).
+  )");
+  DiagnosticSink sink;
+  ProgramAnalyzer(program).Lint(&sink);
+  EXPECT_TRUE(sink.Has("L014")) << sink.ToString();
+  ProgramAnalysis a = ProgramAnalyzer(program).AnalyzeProgram();
+  EXPECT_FALSE(a.RuleSubsumed(0));
+  EXPECT_TRUE(a.RuleSubsumed(1));
+}
+
+TEST(AnalyzerLintTest, VariantRulesKeepTheTextuallyEarlierOne) {
+  // The two rules are renamings of each other (mutual subsumption): exactly
+  // one — the later — must be flagged, deterministically.
+  Program program = Parse(R"(
+    e(1, 2).
+    s(X, Y) <- e(X, Y).
+    s(A, B) <- e(A, B).
+  )");
+  ProgramAnalysis a = ProgramAnalyzer(program).AnalyzeProgram();
+  EXPECT_FALSE(a.RuleSubsumed(0));
+  EXPECT_TRUE(a.RuleSubsumed(1));
+}
+
+TEST(AnalyzerLintTest, CleanProgramHasNoFindings) {
+  Program program = Parse(R"(
+    e(1, 2).  e(2, 3).
+    t(X, Y) <- e(X, Y).
+    t(X, Y) <- e(X, Z), t(Z, Y).
+    v(X, Y) <- t(X, Y), X < Y.
+  )");
+  DiagnosticSink sink;
+  ProgramAnalyzer(program).Lint(&sink);
+  EXPECT_TRUE(sink.empty()) << sink.ToString();
+}
+
+// ---------------------------------------------------------------------------
+// Adornment reachability
+
+TEST(AnalyzerReachabilityTest, BoundGoalNeverRequestsAllFreeViews) {
+  Program program = Parse(R"(
+    e(1, 2).  e(2, 3).
+    t(X, Y) <- e(X, Y).
+    v(X, Y) <- t(X, Z), e(Z, Y).
+  )");
+  ProgramAnalysis a = ProgramAnalyzer(program).Analyze(Goal("v(1, Qy)"));
+
+  EXPECT_TRUE(a.has_goal());
+  EXPECT_TRUE(a.reachability_complete());
+  EXPECT_TRUE(a.AdornmentReachable(Ap("v", "bf")));
+  EXPECT_FALSE(a.AdornmentReachable(Ap("v", "ff")));
+  // t's first argument is always bound through the view's head.
+  EXPECT_TRUE(a.AdornmentReachable(Ap("t", "bf")));
+  EXPECT_TRUE(a.AdornmentReachable(Ap("t", "bb")));
+  EXPECT_FALSE(a.AdornmentReachable(Ap("t", "ff")));
+  // Base predicates are never constrained.
+  EXPECT_TRUE(a.AdornmentReachable(Ap("e", "ff")));
+  EXPECT_GE(a.reachable_pair_count(), 3u);
+}
+
+TEST(AnalyzerReachabilityTest, FreeGoalReachesAllFree) {
+  Program program = Parse(R"(
+    e(1, 2).
+    t(X, Y) <- e(X, Y).
+    v(X, Y) <- t(X, Z), e(Z, Y).
+  )");
+  ProgramAnalysis a = ProgramAnalyzer(program).Analyze(Goal("v(Qx, Qy)"));
+  EXPECT_TRUE(a.AdornmentReachable(Ap("v", "ff")));
+  EXPECT_TRUE(a.AdornmentReachable(Ap("t", "ff")));
+}
+
+TEST(AnalyzerReachabilityTest, RecursiveCliqueSeedsAllFree) {
+  // Clique members may be computed in full-fixpoint context whatever the
+  // entry adornment, so all-free must stay reachable for them.
+  Program program = Parse(R"(
+    e(1, 2).  e(2, 3).
+    t(X, Y) <- e(X, Y).
+    t(X, Y) <- e(X, Z), t(Z, Y).
+  )");
+  ProgramAnalysis a = ProgramAnalyzer(program).Analyze(Goal("t(1, Qy)"));
+  EXPECT_TRUE(a.AdornmentReachable(Ap("t", "bf")));
+  EXPECT_TRUE(a.AdornmentReachable(Ap("t", "ff")));
+}
+
+TEST(AnalyzerReachabilityTest, GoalIndependentAnalysisPrunesNothing) {
+  Program program = Parse(R"(
+    e(1, 2).
+    t(X, Y) <- e(X, Y).
+  )");
+  ProgramAnalysis a = ProgramAnalyzer(program).AnalyzeProgram();
+  EXPECT_FALSE(a.has_goal());
+  EXPECT_TRUE(a.AdornmentReachable(Ap("t", "ff")));
+  EXPECT_TRUE(a.AdornmentReachable(Ap("t", "bb")));
+}
+
+// ---------------------------------------------------------------------------
+// Dead rules and elimination
+
+TEST(AnalyzerDeadRuleTest, CollectsAllFourCategories) {
+  Database db;
+  ASSERT_TRUE(db.AddFact(Goal("e(1, 2)")).ok());
+  Program program = Parse(R"(
+    v(X, Y) <- e(X, Y).
+    v(X, Y) <- e(X, Y), 1 > 2.
+    v(X, Y) <- e(X, Y), e(Y, X).
+    orphan(X) <- e(X, X).
+    ghostly(X) <- ghost(X, X).
+  )");
+  AnalyzerOptions options;
+  options.database = &db;  // `ghost` has no relation: statically empty
+  ProgramAnalysis a = ProgramAnalyzer(program, options).Analyze(Goal("v(1, Qy)"));
+
+  ASSERT_EQ(a.dead_rules().size(), 4u);
+  EXPECT_EQ(a.dead_rules()[0].rule_index, 1u);
+  EXPECT_EQ(a.dead_rules()[0].reason,
+            "body is statically unsatisfiable (sort conflict)");
+  EXPECT_EQ(a.dead_rules()[1].rule_index, 2u);
+  EXPECT_EQ(a.dead_rules()[1].reason, "subsumed by another rule");
+  EXPECT_EQ(a.dead_rules()[2].rule_index, 3u);
+  EXPECT_EQ(a.dead_rules()[2].reason, "unreachable from v/2");
+  EXPECT_EQ(a.dead_rules()[3].rule_index, 4u);
+  EXPECT_EQ(a.dead_rules()[3].reason, "unreachable from v/2");
+
+  DeadRuleElimination pruned = EliminateDeadRules(program, a);
+  EXPECT_EQ(pruned.program.rules().size(), 1u);
+  EXPECT_EQ(pruned.removed_rules.size(), 4u);
+  EXPECT_EQ(pruned.reasons.size(), 4u);
+}
+
+TEST(AnalyzerDeadRuleTest, EmptyBasePredicateKillsItsRules) {
+  Database db;
+  ASSERT_TRUE(db.AddFact(Goal("e(1, 2)")).ok());
+  Program program = Parse(R"(
+    v(X, Y) <- e(X, Y).
+    v(X, Y) <- ghost(X, Y).
+  )");
+  AnalyzerOptions options;
+  options.database = &db;
+  ProgramAnalysis a =
+      ProgramAnalyzer(program, options).Analyze(Goal("v(1, Qy)"));
+  ASSERT_EQ(a.dead_rules().size(), 1u);
+  EXPECT_EQ(a.dead_rules()[0].rule_index, 1u);
+  EXPECT_EQ(a.dead_rules()[0].reason,
+            "positive occurrence of statically empty ghost/2");
+}
+
+// ---------------------------------------------------------------------------
+// Cardinality sketch
+
+TEST(AnalyzerCardinalityTest, SketchesBaseAndDerivedBounds) {
+  Database db;
+  for (const char* fact : {"e(1, 2)", "e(2, 3)", "e(3, 4)"}) {
+    ASSERT_TRUE(db.AddFact(Goal(fact)).ok());
+  }
+  Program program = Parse(R"(
+    v(X, Y) <- e(X, Z), e(Z, Y).
+  )");
+  AnalyzerOptions options;
+  options.database = &db;
+  ProgramAnalysis a = ProgramAnalyzer(program, options).AnalyzeProgram();
+  EXPECT_DOUBLE_EQ(a.CardinalityBound({"e", 2}), 3.0);
+  EXPECT_DOUBLE_EQ(a.CardinalityBound({"v", 2}), 9.0);
+  EXPECT_TRUE(a.cardinality_stats().converged);
+}
+
+TEST(AnalyzerCardinalityTest, RecursiveCliqueWidensToCap) {
+  Database db;
+  ASSERT_TRUE(db.AddFact(Goal("e(1, 2)")).ok());
+  Program program = Parse(R"(
+    t(X, Y) <- e(X, Y).
+    t(X, Y) <- t(X, Z), t(Z, Y).
+  )");
+  AnalyzerOptions options;
+  options.database = &db;
+  ProgramAnalysis a = ProgramAnalyzer(program, options).AnalyzeProgram();
+  // The nonlinear product grows without bound until widening caps it.
+  EXPECT_GE(a.CardinalityBound({"t", 2}), 1.0);
+  EXPECT_TRUE(a.cardinality_stats().converged);
+}
+
+// ---------------------------------------------------------------------------
+// Diagnostics determinism
+
+TEST(DiagnosticSinkTest, StableSortByLocationIsDeterministic) {
+  DiagnosticSink sink;
+  sink.Warning("L013", "later rule", SourceLocation::ForRule(2, "r2"));
+  sink.Warning("L012", "rule-less", SourceLocation::For("query"));
+  sink.Warning("L014", "earlier rule", SourceLocation::ForRule(0, "r0"));
+  sink.Warning("L011", "earlier rule, smaller code",
+               SourceLocation::ForRule(0, "r0"));
+  sink.StableSortByLocation();
+
+  ASSERT_EQ(sink.diagnostics().size(), 4u);
+  EXPECT_EQ(sink.diagnostics()[0].code, "L011");
+  EXPECT_EQ(sink.diagnostics()[1].code, "L014");
+  EXPECT_EQ(sink.diagnostics()[2].code, "L013");
+  EXPECT_EQ(sink.diagnostics()[3].code, "L012");  // SIZE_MAX sorts last
+}
+
+// ---------------------------------------------------------------------------
+// Optimizer integration
+
+constexpr const char* kLayered = R"(
+  e(1, 2).  e(2, 3).  e(3, 4).  e(4, 5).
+  t(X, Y) <- e(X, Y).
+  v(X, Y) <- t(X, Z), e(Z, Y).
+  w(X, Y) <- v(X, Z), e(Z, Y).
+)";
+
+TEST(AnalyzerOptimizerTest, ExplainOptimizeShowsPrunedUnreachable) {
+  OptimizerOptions options;
+  options.analyze_reachability = true;
+  LdlSystem sys(options);
+  ASSERT_TRUE(sys.LoadProgram(kLayered).ok());
+  auto explain = sys.ExplainOptimize("w(1, Qy)");
+  ASSERT_TRUE(explain.ok()) << explain.status();
+  EXPECT_NE(explain->find("pruned-unreachable"), std::string::npos) << *explain;
+  EXPECT_NE(explain->find("unreachable prunes"), std::string::npos) << *explain;
+}
+
+TEST(AnalyzerOptimizerTest, PruningShrinksMemoLattice) {
+  auto memo_size = [](bool analyze) {
+    SearchTracer tracer;
+    OptimizerOptions options;
+    options.analyze_reachability = analyze;
+    options.trace.search = &tracer;
+    LdlSystem sys(options);
+    EXPECT_TRUE(sys.LoadProgram(kLayered).ok());
+    auto plan = sys.Plan("w(1, Qy)");
+    EXPECT_TRUE(plan.ok()) << plan.status();
+    return tracer.memo().size();
+  };
+  const size_t unpruned = memo_size(false);
+  const size_t pruned = memo_size(true);
+  EXPECT_LT(pruned, unpruned);
+}
+
+TEST(AnalyzerOptimizerTest, AnalysisPassesPreserveAnswers) {
+  constexpr const char* kWithDeadRules = R"(
+    e(1, 2).  e(2, 3).  e(3, 4).
+    t(X, Y) <- e(X, Y).
+    t(X, Y) <- e(X, Z), t(Z, Y).
+    t(X, Y) <- e(X, Y), X = zz_dead.
+    v(X, Y) <- t(X, Y), X < Y.
+    orphan(X, Y) <- e(X, Y).
+  )";
+  auto answers = [&](bool analysis, const std::string& goal) {
+    OptimizerOptions options;
+    options.analyze_reachability = analysis;
+    options.eliminate_dead_rules = analysis;
+    LdlSystem sys(options);
+    EXPECT_TRUE(sys.LoadProgram(kWithDeadRules).ok());
+    auto result = sys.Query(goal);
+    EXPECT_TRUE(result.ok()) << result.status();
+    return result.ok() ? CanonicalAnswers(result->answers)
+                       : std::vector<Tuple>{};
+  };
+  for (const char* goal : {"v(1, Qy)", "v(Qx, Qy)", "t(2, Qy)"}) {
+    EXPECT_EQ(answers(false, goal), answers(true, goal)) << goal;
+  }
+}
+
+TEST(AnalyzerOptimizerTest, MetricsExportCountsAnalysisWork) {
+  Program program = Parse(kLayered);
+  ProgramAnalysis a = ProgramAnalyzer(program).Analyze(Goal("w(1, Qy)"));
+  MetricsRegistry metrics;
+  a.ExportTo(&metrics);
+  EXPECT_GT(metrics.counter_value("analysis.reachable_adornments"), 0u);
+  EXPECT_GT(metrics.counter_value("analysis.dataflow_visits"), 0u);
+  EXPECT_FALSE(a.ToString().empty());
+}
+
+}  // namespace
+}  // namespace ldl

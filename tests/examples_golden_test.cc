@@ -70,6 +70,23 @@ TEST(ExamplesGoldenTest, Corporate) {
             (std::vector<std::string>{"(bob, 9.5)"}));
 }
 
+TEST(ExamplesGoldenTest, Assembly) {
+  LdlSystem sys;
+  ASSERT_TRUE(sys.LoadProgram(ReadExample("assembly.ldl")).ok());
+  EXPECT_EQ(Answers(&sys, "pricey_source(bike, P, S)"),
+            (std::vector<std::string>{"(bike, frame, bolt_co)",
+                                      "(bike, wheel, acme)"}));
+  // The same answers with the semantic pre-optimization passes on: dead
+  // rules pruned (there are none here) and unreachable adornments skipped.
+  OptimizerOptions pruned;
+  pruned.analyze_reachability = true;
+  pruned.eliminate_dead_rules = true;
+  sys.set_options(pruned);
+  EXPECT_EQ(Answers(&sys, "pricey_source(bike, P, S)"),
+            (std::vector<std::string>{"(bike, frame, bolt_co)",
+                                      "(bike, wheel, acme)"}));
+}
+
 TEST(ExamplesGoldenTest, SameGeneration) {
   LdlSystem sys;
   ASSERT_TRUE(sys.LoadProgram(ReadExample("same_generation.ldl")).ok());
@@ -83,8 +100,8 @@ TEST(ExamplesGoldenTest, SameGeneration) {
 TEST(ExamplesGoldenTest, EveryEmbeddedQueryEvaluates) {
   // Catch-all: examples may grow queries; each must at least evaluate.
   // (The explicit goldens above pin the ones that exist today.)
-  for (const char* name :
-       {"ancestor.ldl", "corporate.ldl", "same_generation.ldl"}) {
+  for (const char* name : {"ancestor.ldl", "assembly.ldl", "corporate.ldl",
+                           "same_generation.ldl"}) {
     LdlSystem sys;
     ASSERT_TRUE(sys.LoadProgram(ReadExample(name)).ok()) << name;
     EXPECT_FALSE(sys.pending_queries().empty()) << name;

@@ -11,6 +11,10 @@
 //                        run beyond the semi-naive reference (default all)
 //   --no-tree            skip the processing-tree interpreter configurations
 //   --no-metamorphic     skip the metamorphic checks
+//   --no-analysis        skip the opt:analysis configuration (semantic
+//                        pre-optimization: dead-rule elimination +
+//                        adornment-reachability pruning) and the injection
+//                        of statically dead clauses into generated programs
 //   --repro-dir DIR      where repro-*.ldl files are written (default ".")
 //   --max-shrink-evals N shrinker budget per failure (default 2000)
 //   --skip N             generate and discard the first N programs per seed
@@ -46,7 +50,8 @@ int Usage() {
       stderr,
       "usage: ldl_difftest [--seed S|A..B]... [--iters N] [--shape SHAPE]\n"
       "                    [--methods naive,magic,counting] [--no-tree]\n"
-      "                    [--no-metamorphic] [--repro-dir DIR]\n"
+      "                    [--no-metamorphic] [--no-analysis] "
+      "[--repro-dir DIR]\n"
       "                    [--max-shrink-evals N] [--inject-fault] "
       "[--verbose]\n");
   return 2;
@@ -111,6 +116,7 @@ int main(int argc, char** argv) {
   std::string repro_dir = ".";
   DiffTestOptions options;
   bool inject_fault = false;
+  bool no_analysis = false;
   bool verbose = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -153,6 +159,8 @@ int main(int argc, char** argv) {
       options.run_tree_interpreter = false;
     } else if (arg == "--no-metamorphic") {
       options.run_metamorphic = false;
+    } else if (arg == "--no-analysis") {
+      no_analysis = true;
     } else if (arg == "--repro-dir" && i + 1 < argc) {
       repro_dir = argv[++i];
     } else if (arg == "--max-shrink-evals" && i + 1 < argc) {
@@ -176,6 +184,15 @@ int main(int argc, char** argv) {
   }
   if (seeds.empty()) seeds.push_back(1);
   if (inject_fault) options.fault = Fault::kFlipJoin;
+  if (no_analysis) {
+    options.run_analysis_pruned = false;
+  } else {
+    // With the analysis configuration on, also feed it: a quarter of the
+    // generated programs carry a statically dead rule and/or an
+    // unreachable predicate that elimination must drop answer-neutrally.
+    options.gen.dead_rule_probability = 0.25;
+    options.gen.unreachable_predicate_probability = 0.25;
+  }
 
   size_t total_iters = 0;
   size_t total_configs = 0;

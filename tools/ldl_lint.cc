@@ -6,6 +6,10 @@
 //   --werror       treat warnings as errors (nonzero exit)
 //   --no-warn      suppress warnings entirely
 //   --no-verify    skip optimizing + plan-verifying the embedded query forms
+//   --analyze      run the semantic program analyzer too: type/sort
+//                  inference (L011 sort-conflicting constants, L012
+//                  always-false comparisons, L013 contradictory variable
+//                  constraints) and rule subsumption (L014)
 //   --trace FILE   write per-phase spans (parse / lint / verify-queries,
 //                  one set per input) as Chrome trace_event JSON
 //
@@ -27,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/analyzer.h"
 #include "analysis/diagnostic.h"
 #include "analysis/linter.h"
 #include "ast/parser.h"
@@ -43,13 +48,14 @@ struct CliOptions {
   bool werror = false;
   bool warnings = true;
   bool verify_queries = true;
+  bool analyze = false;
   std::string trace_file;
   std::vector<std::string> files;
 };
 
 int Usage() {
   std::cerr << "usage: ldl_lint [--werror] [--no-warn] [--no-verify] "
-               "[--trace FILE] file.ldl... | -\n";
+               "[--analyze] [--trace FILE] file.ldl... | -\n";
   return 2;
 }
 
@@ -184,6 +190,8 @@ int main(int argc, char** argv) {
       cli.warnings = false;
     } else if (arg == "--no-verify") {
       cli.verify_queries = false;
+    } else if (arg == "--analyze") {
+      cli.analyze = true;
     } else if (arg == "--trace" && i + 1 < argc) {
       cli.trace_file = argv[++i];
     } else if (arg == "--help" || arg == "-h") {
@@ -222,11 +230,16 @@ int main(int argc, char** argv) {
       ldl::Span lint_span(&tracer, "lint", "lint");
       ldl::ProgramLinter(*parsed).Lint(&sink);
       lint_span.Finish();
+      if (cli.analyze) {
+        ldl::Span analyze_span(&tracer, "analyze", "lint");
+        ldl::ProgramAnalyzer(*parsed).Lint(&sink);
+      }
       if (cli.verify_queries && !sink.HasErrors()) {
         ldl::Span verify_span(&tracer, "verify-queries", "lint");
         VerifyQueries(text, &sink);
         CheckRecursiveCliques(*parsed, &sink);
       }
+      sink.StableSortByLocation();
     }
     Print(file, sink, cli.warnings);
     total_errors += sink.error_count();

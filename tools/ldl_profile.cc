@@ -28,6 +28,11 @@
 //                        method) as a JSON array.
 //   --dot FILE           write the first query's memo lattice as a
 //                        Graphviz digraph, winning subplans highlighted.
+//   --prune              enable the semantic pre-optimization passes:
+//                        dead-rule elimination and adornment-reachability
+//                        pruning (statically unreachable (predicate,
+//                        adornment) pairs skip memoization; they show as
+//                        pruned-unreachable in EXPLAIN OPTIMIZE).
 //
 // Exit status: 0 success, 1 any query failed (parse, optimize, unsafe plan,
 // or execution error — details on stderr), 2 usage error.
@@ -51,6 +56,7 @@ struct CliOptions {
   bool analyze = false;
   bool print_metrics = false;
   bool explain_optimize = false;
+  bool prune = false;
   std::string trace_json;
   std::string metrics_json;
   std::string calibration_json;
@@ -66,7 +72,7 @@ int Usage() {
                "[--query GOAL]... "
                "[--trace-json FILE] [--metrics-json FILE] [--metrics] "
                "[--calibration-json FILE] [--search-json FILE] "
-               "[--fixpoint-json FILE] [--dot FILE] file.ldl | -\n";
+               "[--fixpoint-json FILE] [--dot FILE] [--prune] file.ldl | -\n";
   return 2;
 }
 
@@ -111,6 +117,8 @@ int main(int argc, char** argv) {
       cli.fixpoint_json = argv[++i];
     } else if (arg == "--dot" && i + 1 < argc) {
       cli.dot_file = argv[++i];
+    } else if (arg == "--prune") {
+      cli.prune = true;
     } else if (arg == "--help" || arg == "-h") {
       Usage();
       return 0;
@@ -148,6 +156,10 @@ int main(int argc, char** argv) {
                            !cli.dot_file.empty() || cli.explain_optimize;
   if (want_search) options.trace.search = &search_tracer;
   options.record_fixpoint_iterations = !cli.fixpoint_json.empty();
+  if (cli.prune) {
+    options.analyze_reachability = true;
+    options.eliminate_dead_rules = true;
+  }
 
   ldl::LdlSystem sys(options);
   ldl::Status load = sys.LoadProgram(text);
