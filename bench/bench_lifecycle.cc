@@ -1,0 +1,260 @@
+// Experiment E15 — cost of the query-lifecycle layer:
+//
+// LdlSystem::Query only engages per-query metering (a ResourceAccountant
+// wired through relation storage plus a CancellationToken checked every
+// kCheckIntervalTuples join steps) when the caller sets limits or attaches
+// a query log. The contract this bench pins:
+//
+//  - the *unmetered* path must be indistinguishable from a system with no
+//    lifecycle layer at all — every hook is a single null-pointer branch,
+//    so its overhead target is < 2% of query wall time;
+//  - the *metered* path (generous budget, nothing ever trips) stays cheap:
+//    accounting is relaxed atomics and the token fires once per 1024
+//    tuples examined;
+//  - a tripped budget aborts promptly: the wall time of an over-budget
+//    query on a large recursion is bounded by work-to-budget, not by the
+//    full fixpoint.
+//
+// It also measures Histogram::Record (satellite: lock-free CAS recording)
+// single-threaded and under 4-way contention, since the metrics registry
+// sits on the same always-on path.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "base/strings.h"
+#include "bench_util.h"
+#include "ldl/ldl.h"
+#include "obs/metrics.h"
+#include "obs/query_log.h"
+#include "obs/resource.h"
+
+namespace ldl {
+namespace {
+
+using bench::Fmt;
+using bench::Stopwatch;
+using bench::Table;
+
+/// Linear-chain transitive closure: tc over an `n`-edge chain derives
+/// O(n^2) tuples, so the fixpoint does real storage and join work — the
+/// shape where per-tuple metering hooks would show up if they cost
+/// anything.
+std::string ChainProgram(int n) {
+  std::string text =
+      "tc(X, Y) <- edge(X, Y).\n"
+      "tc(X, Y) <- edge(X, Z), tc(Z, Y).\n";
+  for (int i = 0; i < n; ++i) {
+    text += StrCat("edge(n", i, ", n", i + 1, ").\n");
+  }
+  return text;
+}
+
+enum class Metering { kOff, kOn, kOnWithLog };
+
+const char* MeteringName(Metering mode) {
+  switch (mode) {
+    case Metering::kOff: return "unmetered";
+    case Metering::kOn: return "metered";
+    case Metering::kOnWithLog: return "metered+log";
+  }
+  return "?";
+}
+
+/// Minimum per-query wall ms over `kSamples` samples (minimum is the
+/// noise-robust estimator for overhead comparisons: background load only
+/// ever adds time). The system is built once per mode; each sample re-runs
+/// the same bound query.
+double MeasureQueryMs(const std::string& program, const std::string& goal,
+                      Metering mode) {
+  constexpr size_t kSamples = 15;
+  LdlSystem sys;
+  Status st = sys.LoadProgram(program);
+  if (!st.ok()) {
+    std::fprintf(stderr, "bench_lifecycle: %s\n", st.ToString().c_str());
+    std::abort();
+  }
+  if (mode != Metering::kOff) {
+    OptimizerOptions options;
+    // Generous enough that nothing ever trips: the point is the cost of
+    // live accounting, not of aborting.
+    options.limits.budget_bytes = 1ull << 32;
+    options.limits.budget_tuples = 1ull << 40;
+    sys.set_options(options);
+  }
+  QueryLog log;
+  if (mode == Metering::kOnWithLog) sys.set_query_log(&log);
+  std::vector<double> ms;
+  ms.reserve(kSamples);
+  for (size_t s = 0; s < kSamples; ++s) {
+    Stopwatch watch;
+    auto answer = sys.Query(goal);
+    benchmark::DoNotOptimize(answer);
+    if (!answer.ok()) {
+      std::fprintf(stderr, "bench_lifecycle: %s\n",
+                   answer.status().ToString().c_str());
+      std::abort();
+    }
+    ms.push_back(watch.ElapsedMs());
+  }
+  return *std::min_element(ms.begin(), ms.end());
+}
+
+/// Wall ms until an over-budget full-closure query returns its typed
+/// abort. With cooperative checks every 1024 examined tuples this should
+/// be a small fraction of the unconstrained query time on the same chain.
+double MeasureAbortMs(const std::string& program, const std::string& goal,
+                      uint64_t budget_tuples) {
+  constexpr size_t kSamples = 15;
+  LdlSystem sys;
+  if (!sys.LoadProgram(program).ok()) std::abort();
+  OptimizerOptions options;
+  options.limits.budget_tuples = budget_tuples;
+  sys.set_options(options);
+  std::vector<double> ms;
+  ms.reserve(kSamples);
+  for (size_t s = 0; s < kSamples; ++s) {
+    Stopwatch watch;
+    auto answer = sys.Query(goal);
+    if (answer.ok() ||
+        answer.status().code() != StatusCode::kResourceExhausted) {
+      std::fprintf(stderr,
+                   "bench_lifecycle: expected ResourceExhausted, got %s\n",
+                   answer.ok() ? "ok" : answer.status().ToString().c_str());
+      std::abort();
+    }
+    ms.push_back(watch.ElapsedMs());
+  }
+  return *std::min_element(ms.begin(), ms.end());
+}
+
+/// ns per Histogram::Record with `threads` recorders hammering the same
+/// histogram. The lock-free CAS loop should scale far better than a mutex
+/// would; the absolute single-thread number is the always-on metrics cost.
+double MeasureRecordNs(size_t threads, size_t per_thread) {
+  Histogram hist;
+  Stopwatch watch;
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (size_t t = 0; t < threads; ++t) {
+    workers.emplace_back([&hist, t, per_thread] {
+      for (size_t i = 0; i < per_thread; ++i) {
+        hist.Record(static_cast<double>(t * per_thread + i + 1));
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  double total_ns = watch.ElapsedMs() * 1e6;
+  if (hist.count() != threads * per_thread) {
+    std::fprintf(stderr, "bench_lifecycle: lost histogram records\n");
+    std::abort();
+  }
+  return total_ns / static_cast<double>(threads * per_thread);
+}
+
+}  // namespace
+
+void PrintExperiment() {
+  bench::Banner("E15", "query-lifecycle overhead: unmetered pass-through vs "
+                       "live accounting, abort latency, histogram recording");
+
+  Table overhead({"workload", "metering", "ms/query", "overhead %"});
+  struct Shape {
+    std::string name;
+    std::string program;
+    std::string goal;
+  };
+  const std::vector<Shape> shapes = {
+      {"tc chain 120 bound", ChainProgram(120), "tc(n0, Y)"},
+      {"tc chain 60 full", ChainProgram(60), "tc(X, Y)"},
+  };
+  for (const Shape& shape : shapes) {
+    double base_ms = 0;
+    for (Metering mode :
+         {Metering::kOff, Metering::kOn, Metering::kOnWithLog}) {
+      double ms = MeasureQueryMs(shape.program, shape.goal, mode);
+      if (mode == Metering::kOff) base_ms = ms;
+      double pct = base_ms > 0 ? (ms / base_ms - 1.0) * 100.0 : 0.0;
+      overhead.AddRow({StrCat(shape.name, " / ", MeteringName(mode)),
+                       MeteringName(mode), Fmt(ms, "%.3f"),
+                       mode == Metering::kOff ? "-" : Fmt(pct, "%.1f")});
+    }
+  }
+  overhead.Print();
+
+  Table abort_table({"workload", "budget tuples", "abort ms", "full ms"});
+  {
+    const std::string program = ChainProgram(160);
+    double full_ms = MeasureQueryMs(program, "tc(X, Y)", Metering::kOff);
+    // The unconstrained closure examines ~26k tuples, so both budgets trip
+    // mid-fixpoint — one early, one late.
+    for (uint64_t budget : {4096ull, 16384ull}) {
+      double abort_ms = MeasureAbortMs(program, "tc(X, Y)", budget);
+      abort_table.AddRow({StrCat("tc chain 160 / budget ", budget),
+                          std::to_string(budget), Fmt(abort_ms, "%.3f"),
+                          Fmt(full_ms, "%.3f")});
+    }
+  }
+  abort_table.Print();
+
+  Table hist({"recorders", "ns/record"});
+  for (size_t threads : {1, 4}) {
+    hist.AddRow({std::to_string(threads),
+                 Fmt(MeasureRecordNs(threads, 200000), "%.1f")});
+  }
+  hist.Print();
+
+  std::printf(
+      "Expected shape: the metered rows sit within noise of the unmetered\n"
+      "rows (every hook is one null check when off, relaxed atomics when\n"
+      "on; the <2%% pass-through contract is asserted as a latency bound in\n"
+      "tests/lifecycle_test.cc via the 1024-tuple check cadence). Abort ms\n"
+      "tracks the budget, not the full closure time. Histogram recording\n"
+      "stays tens of ns even under contention — it is fetch_add on count\n"
+      "and buckets plus a CAS loop on sum/min/max.\n\n");
+}
+
+namespace {
+
+void BM_QueryLifecycle(benchmark::State& state) {
+  Metering mode = static_cast<Metering>(state.range(0));
+  LdlSystem sys;
+  if (!sys.LoadProgram(ChainProgram(60)).ok()) std::abort();
+  if (mode != Metering::kOff) {
+    OptimizerOptions options;
+    options.limits.budget_bytes = 1ull << 32;
+    sys.set_options(options);
+  }
+  QueryLog log;
+  if (mode == Metering::kOnWithLog) sys.set_query_log(&log);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sys.Query("tc(n0, Y)"));
+  }
+  state.SetLabel(MeteringName(mode));
+}
+BENCHMARK(BM_QueryLifecycle)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  static Histogram hist;
+  double v = 1.0;
+  for (auto _ : state) {
+    hist.Record(v);
+    v += 1.0;
+  }
+}
+BENCHMARK(BM_HistogramRecord)->Threads(1)->Threads(4);
+
+}  // namespace
+}  // namespace ldl
+
+int main(int argc, char** argv) {
+  ldl::PrintExperiment();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  ldl::bench::FlushJson("lifecycle");
+  return 0;
+}

@@ -17,8 +17,10 @@ enum class StatusCode {
   kNotFound,          ///< Missing predicate/relation/index.
   kUnsafe,            ///< Query has no safe execution (paper section 8).
   kUnsupported,       ///< Valid LDL we have chosen not to implement.
-  kInternal,          ///< Invariant violation inside the library.
-  kResourceExhausted  ///< Iteration/size guard tripped.
+  kInternal,           ///< Invariant violation inside the library.
+  kResourceExhausted,  ///< Iteration/size/memory budget tripped.
+  kDeadlineExceeded,   ///< Query ran past its wall-clock deadline.
+  kCancelled           ///< Caller requested cancellation mid-query.
 };
 
 /// Returns a stable human-readable name ("InvalidArgument", ...) for a code.
@@ -53,6 +55,12 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -96,9 +96,28 @@ class ProgramEvaluator {
   RuleEvalOptions OptionsForRule(size_t rule_index) const {
     RuleEvalOptions opts;
     opts.max_derivations = options_.max_derivations;
+    opts.cancel = options_.trace.cancel;
+    opts.accountant = options_.trace.accountant;
     auto it = options_.rule_orders.find(rule_index);
     if (it != options_.rule_orders.end()) opts.order = it->second;
     return opts;
+  }
+
+  /// Transient per-round relations (deltas, rule temporaries) count against
+  /// the query's byte budget too — they are where a blow-up shows up first.
+  void Attach(Relation* rel) const {
+    if (options_.trace.accountant != nullptr) {
+      rel->set_accountant(options_.trace.accountant);
+    }
+  }
+
+  /// Per-round check-point: polls cancellation/deadline/budget and charges
+  /// the round into the accountant.
+  Status RoundCheckpoint() {
+    if (options_.trace.accountant != nullptr) {
+      options_.trace.accountant->AddFixpointRounds(1);
+    }
+    return options_.trace.CheckCancel();
   }
 
   /// The method name to stamp on recorded iterations: the caller's label
@@ -131,6 +150,7 @@ class ProgramEvaluator {
   Status EvaluateOnce(const PredicateId& pred) {
     Span span = options_.trace.StartSpan("eval-once", "engine");
     if (span.active()) span.AddArg("predicate", pred.ToString());
+    LDL_RETURN_NOT_OK(options_.trace.CheckCancel());
     Relation* out = scratch_->GetOrCreate(pred);
     RelationResolver resolve = MakeResolver();
     for (size_t rule_index : program_.RulesFor(pred)) {
@@ -164,6 +184,7 @@ class ProgramEvaluator {
                    " iterations for ", clique.ToString()));
       }
       stats_->iterations++;
+      LDL_RETURN_NOT_OK(RoundCheckpoint());
       const size_t deriv_before = stats_->counters.derivations;
       std::chrono::steady_clock::time_point round_start;
       if (options_.record_iterations) {
@@ -173,7 +194,8 @@ class ProgramEvaluator {
       // then merge, so each round sees exactly the previous round's state.
       std::unordered_map<PredicateId, Relation, PredicateIdHash> temp;
       for (const PredicateId& pred : members) {
-        temp.emplace(pred, Relation(pred.name, pred.arity));
+        Attach(&temp.emplace(pred, Relation(pred.name, pred.arity))
+                    .first->second);
       }
       for (size_t rule_index : all_rules) {
         const Rule& rule = program_.rules()[rule_index];
@@ -223,7 +245,8 @@ class ProgramEvaluator {
 
     std::unordered_map<PredicateId, Relation, PredicateIdHash> delta;
     for (const PredicateId& pred : members) {
-      delta.emplace(pred, Relation(pred.name, pred.arity));
+      Attach(&delta.emplace(pred, Relation(pred.name, pred.arity))
+                  .first->second);
     }
 
     // Seed with the exit rules.
@@ -231,6 +254,7 @@ class ProgramEvaluator {
     for (size_t rule_index : clique.exit_rules) {
       const Rule& rule = program_.rules()[rule_index];
       Relation temp(rule.head().predicate().name, rule.head().arity());
+      Attach(&temp);
       auto n = EvaluateRule(rule, resolve, &temp, &stats_->counters,
                             OptionsForRule(rule_index));
       LDL_RETURN_NOT_OK(n.status());
@@ -249,6 +273,7 @@ class ProgramEvaluator {
                    " iterations for ", clique.ToString()));
       }
       stats_->iterations++;
+      LDL_RETURN_NOT_OK(RoundCheckpoint());
       bool any_delta = std::any_of(
           members.begin(), members.end(),
           [&delta](const PredicateId& p) { return !delta.at(p).empty(); });
@@ -263,7 +288,8 @@ class ProgramEvaluator {
 
       std::unordered_map<PredicateId, Relation, PredicateIdHash> new_delta;
       for (const PredicateId& pred : members) {
-        new_delta.emplace(pred, Relation(pred.name, pred.arity));
+        Attach(&new_delta.emplace(pred, Relation(pred.name, pred.arity))
+                    .first->second);
       }
 
       for (size_t rule_index : clique.recursive_rules) {
@@ -280,6 +306,7 @@ class ProgramEvaluator {
             return Resolve(lit);
           };
           Relation temp(rule.head().predicate().name, rule.head().arity());
+          Attach(&temp);
           auto n = EvaluateRule(rule, diff_resolve, &temp, &stats_->counters,
                                 OptionsForRule(rule_index));
           LDL_RETURN_NOT_OK(n.status());

@@ -117,6 +117,7 @@ Result<QueryResult> EvaluateFull(const Program& program, Database* base,
     }
   }
   Database scratch;
+  scratch.set_accountant(fixpoint.trace.accountant);
   LDL_RETURN_NOT_OK(EvaluateProgram(sub, method, base, &scratch,
                                     &result.stats, fixpoint));
   result.answers = SelectMatching(scratch.Find(goal.predicate()), goal);
@@ -142,6 +143,7 @@ Result<QueryResult> EvaluateMagic(const Program& program, Database* base,
   // (EvaluateProgram reads non-derived predicates from `base`).
   magic.rewritten.AddRule(Rule(magic.seed, {}));
   Database scratch;
+  scratch.set_accountant(options.fixpoint.trace.accountant);
   // The SIP orders are already baked into the rewritten rule bodies;
   // rule_orders keyed by original-program indices must not leak through.
   FixpointOptions fixpoint = options.fixpoint;
@@ -181,6 +183,7 @@ Result<QueryResult> EvaluateCounting(const Program& program, Database* base,
   QueryResult result;
   result.method_used = RecursionMethod::kCounting;
   Database scratch;
+  scratch.set_accountant(options.fixpoint.trace.accountant);
   FixpointOptions fixpoint = options.fixpoint;
   fixpoint.rule_orders.clear();
   fixpoint.method_label = "counting";
@@ -242,6 +245,7 @@ Result<QueryResult> EvaluateQuery(const Program& program, Database* base,
     options.fixpoint.trace.Count(
         StrCat("engine.method.", RecursionMethodToString(method)));
   }
+  LDL_RETURN_NOT_OK(options.fixpoint.trace.CheckCancel());
   if (!program.IsDerived(goal.predicate())) {
     // A pure base-relation query needs no rules.
     QueryResult result;

@@ -54,10 +54,37 @@ class RuleEvaluator {
     }
     counters_->rule_firings++;
     LDL_RETURN_NOT_OK(Step(0));
+    FlushWork();
+    if (options_.accountant != nullptr && inserted_ != 0) {
+      options_.accountant->AddTuplesDerived(inserted_);
+    }
     return inserted_;
   }
 
  private:
+  /// Counts one examined tuple; every kCheckIntervalTuples of them, flushes
+  /// work into the accountant and polls the cancellation token. The
+  /// disabled path (no token, no accountant) is the increment + compare.
+  Status CountExamined() {
+    counters_->tuples_examined++;
+    if (++since_check_ < CancellationToken::kCheckIntervalTuples) {
+      return Status::OK();
+    }
+    FlushWork();
+    if (options_.cancel != nullptr) {
+      LDL_RETURN_NOT_OK(options_.cancel->Check());
+    }
+    return Status::OK();
+  }
+
+  /// Pushes locally accumulated work into the accountant.
+  void FlushWork() {
+    if (options_.accountant != nullptr && since_check_ != 0) {
+      options_.accountant->AddTuplesExamined(since_check_);
+    }
+    since_check_ = 0;
+  }
+
   Status Step(size_t depth) {
     if (depth == order_.size()) return EmitHead();
     const Literal& lit = rule_.body()[order_[depth]];
@@ -128,7 +155,7 @@ class RuleEvaluator {
       }
     }
     Relation* rel = resolve_(lit, order_[depth]);
-    counters_->tuples_examined++;
+    LDL_RETURN_NOT_OK(CountExamined());
     Tuple key(grounded.args().begin(), grounded.args().end());
     if (rel != nullptr && rel->Contains(key)) return Status::OK();
     return Step(depth + 1);
@@ -155,7 +182,7 @@ class RuleEvaluator {
     if (rel == nullptr) return Status::OK();
 
     auto try_tuple = [&](const Tuple& t) -> Status {
-      counters_->tuples_examined++;
+      LDL_RETURN_NOT_OK(CountExamined());
       size_t mark = subst_.Mark();
       bool ok = true;
       for (size_t i = 0; i < lit.arity(); ++i) {
@@ -195,6 +222,7 @@ class RuleEvaluator {
   std::vector<size_t> order_;
   Substitution subst_;
   size_t inserted_ = 0;
+  size_t since_check_ = 0;  ///< examined tuples since the last check-point
 };
 
 }  // namespace

@@ -8,6 +8,7 @@
 #include "ast/rule.h"
 #include "base/status.h"
 #include "obs/metrics.h"
+#include "obs/resource.h"
 #include "storage/database.h"
 
 namespace ldl {
@@ -52,6 +53,13 @@ struct RuleEvalOptions {
   size_t max_derivations = 200'000'000;
   /// Optional binding-aware resolution, tried before the plain resolver.
   PatternResolver pattern_resolver;
+  /// Cooperative cancellation: checked every
+  /// CancellationToken::kCheckIntervalTuples examined tuples, bounding
+  /// abort latency inside even a single monster rule evaluation.
+  CancellationToken* cancel = nullptr;
+  /// Per-query work meter; examined/derived tuples are flushed into it at
+  /// check-points (not per tuple) to keep the hot loop cheap.
+  ResourceAccountant* accountant = nullptr;
 };
 
 /// Evaluates one rule bottom-up: enumerates all substitutions satisfying

@@ -1,13 +1,40 @@
 #include "ldl/ldl.h"
 
+#include <chrono>
+
 #include "analysis/analyzer.h"
 #include "base/strings.h"
+#include "graph/binding.h"
 #include "obs/search_trace.h"
 #include "optimizer/project_pushdown.h"
 #include "plan/explain.h"
 #include "plan/interpreter.h"
 
 namespace ldl {
+
+namespace {
+
+double MsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// "ResourceExhausted" -> "resource_exhausted": the query log's outcome tag.
+std::string OutcomeName(StatusCode code) {
+  std::string out;
+  for (const char* p = StatusCodeToString(code); *p != '\0'; ++p) {
+    if (*p >= 'A' && *p <= 'Z') {
+      if (!out.empty()) out.push_back('_');
+      out.push_back(static_cast<char>(*p - 'A' + 'a'));
+    } else {
+      out.push_back(*p);
+    }
+  }
+  return out;
+}
+
+}  // namespace
 
 LdlSystem::LdlSystem(OptimizerOptions options)
     : options_(std::move(options)) {}
@@ -37,7 +64,11 @@ Status LdlSystem::Ingest(Program parsed) {
 }
 
 void LdlSystem::RefreshStatistics() {
+  // The epoch survives recollection: it numbers statistics *generations*,
+  // so a logged plan can be traced to the catalog state that shaped it.
+  const uint64_t next_epoch = stats_.epoch() + 1;
   stats_ = Statistics::Collect(db_);
+  stats_.set_epoch(next_epoch);
   stats_dirty_ = false;
 }
 
@@ -108,46 +139,129 @@ Result<QueryAnswer> LdlSystem::Query(std::string_view goal_text) {
 }
 
 Result<QueryAnswer> LdlSystem::Query(const Literal& goal) {
-  // Base-relation queries bypass optimization.
-  if (!program_.IsDerived(goal.predicate())) {
-    if (!db_.Exists(goal.predicate())) {
-      return Status::NotFound(
-          StrCat("unknown predicate ", goal.predicate().ToString()));
+  const auto query_start = std::chrono::steady_clock::now();
+
+  // Per-query lifecycle: a resource meter and a cancellation token chained
+  // under whatever session-level accountant/token the caller installed in
+  // options_.trace. Metering engages only when a limit is set or a query
+  // log wants the resource profile — otherwise the trace passes through
+  // untouched and every hot path stays on its no-accountant fast path.
+  ResourceAccountant accountant(options_.trace.accountant);
+  CancellationToken cancel(options_.trace.cancel);
+  TraceContext trace = options_.trace;
+  if (options_.limits.any() || query_log_ != nullptr) {
+    ResourceBudget budget;
+    budget.max_bytes = options_.limits.budget_bytes;
+    budget.max_tuples_examined = options_.limits.budget_tuples;
+    accountant.set_budget(budget);
+    cancel.set_accountant(&accountant);
+    if (options_.limits.deadline_ms > 0) {
+      cancel.set_deadline_after(std::chrono::duration<double, std::milli>(
+          options_.limits.deadline_ms));
     }
-    QueryAnswer answer;
-    answer.answers = SelectMatching(db_.Find(goal.predicate()), goal);
-    answer.plan.goal = goal;
-    answer.plan.safe = true;
-    return answer;
+    trace.accountant = &accountant;
+    trace.cancel = &cancel;
   }
-
-  // Plan and execute against the same (possibly projection-rewritten,
-  // possibly dead-rule-pruned) program: the plan's rule indices refer to it.
-  if (stats_dirty_) RefreshStatistics();
-  LDL_ASSIGN_OR_RETURN(GoalContext ctx, PrepareGoal(goal));
-  Optimizer optimizer(ctx.working, stats_, ctx.options);
-  LDL_ASSIGN_OR_RETURN(QueryPlan plan, optimizer.Optimize(goal));
-  if (!plan.safe) {
-    return Status::Unsafe(StrCat("query ", goal.ToString(),
-                                 "? has no safe execution: ",
-                                 plan.unsafe_reason));
-  }
-
-  QueryEvalOptions eval_options;
-  eval_options.fixpoint.trace = options_.trace;
-  eval_options.fixpoint.record_iterations = options_.record_fixpoint_iterations;
-  eval_options.sips = plan.sips;
-  eval_options.fixpoint.rule_orders.insert(plan.rule_orders.begin(),
-                                           plan.rule_orders.end());
-  LDL_ASSIGN_OR_RETURN(
-      QueryResult result,
-      EvaluateQuery(ctx.working, &db_, goal, plan.top_method, eval_options));
 
   QueryAnswer answer;
-  answer.answers = std::move(result.answers);
-  answer.plan = std::move(plan);
-  answer.exec_stats = result.stats;
-  answer.note = result.note;
+  bool have_plan = false;
+  uint64_t rule_firings = 0;
+
+  auto run = [&]() -> Status {
+    // Base-relation queries bypass optimization.
+    if (!program_.IsDerived(goal.predicate())) {
+      if (!db_.Exists(goal.predicate())) {
+        return Status::NotFound(
+            StrCat("unknown predicate ", goal.predicate().ToString()));
+      }
+      answer.answers = SelectMatching(db_.Find(goal.predicate()), goal);
+      answer.plan.goal = goal;
+      answer.plan.safe = true;
+      have_plan = true;
+      return Status::OK();
+    }
+
+    // Plan and execute against the same (possibly projection-rewritten,
+    // possibly dead-rule-pruned) program: the plan's rule indices refer to
+    // it.
+    if (stats_dirty_) RefreshStatistics();
+    LDL_ASSIGN_OR_RETURN(GoalContext ctx, PrepareGoal(goal));
+    ctx.options.trace = trace;
+    const auto optimize_start = std::chrono::steady_clock::now();
+    Optimizer optimizer(ctx.working, stats_, ctx.options);
+    Result<QueryPlan> plan = optimizer.Optimize(goal);
+    answer.optimize_ms = MsSince(optimize_start);
+    LDL_RETURN_NOT_OK(plan.status());
+    answer.plan = std::move(plan).value();
+    have_plan = true;
+    if (!answer.plan.safe) {
+      return Status::Unsafe(StrCat("query ", goal.ToString(),
+                                   "? has no safe execution: ",
+                                   answer.plan.unsafe_reason));
+    }
+
+    QueryEvalOptions eval_options;
+    eval_options.fixpoint.trace = trace;
+    eval_options.fixpoint.record_iterations =
+        options_.record_fixpoint_iterations;
+    eval_options.sips = answer.plan.sips;
+    eval_options.fixpoint.rule_orders.insert(answer.plan.rule_orders.begin(),
+                                             answer.plan.rule_orders.end());
+    const auto execute_start = std::chrono::steady_clock::now();
+    Result<QueryResult> result = EvaluateQuery(
+        ctx.working, &db_, goal, answer.plan.top_method, eval_options);
+    answer.execute_ms = MsSince(execute_start);
+    LDL_RETURN_NOT_OK(result.status());
+    answer.answers = std::move(result->answers);
+    answer.exec_stats = result->stats;
+    answer.note = result->note;
+    rule_firings = result->stats.counters.rule_firings;
+    return Status::OK();
+  };
+  const Status status = run();
+
+  if (trace.accountant != nullptr) {
+    answer.peak_bytes = trace.accountant->peak_bytes();
+    answer.tuples_examined = trace.accountant->tuples_examined();
+    answer.tuples_derived = trace.accountant->tuples_derived();
+    answer.fixpoint_rounds = trace.accountant->fixpoint_rounds();
+  }
+  if (trace.cancel != nullptr) answer.cancel_checks = trace.cancel->checks();
+
+  if (query_log_ != nullptr) {
+    QueryLogRecord rec;
+    rec.query = goal.ToString();
+    rec.adornment = Adornment::FromGoal(goal).ToString();
+    if (have_plan) {
+      rec.method = program_.IsDerived(goal.predicate())
+                       ? RecursionMethodToString(answer.plan.top_method)
+                       : "base";
+      rec.plan_fingerprint = answer.plan.Fingerprint();
+    }
+    rec.stats_epoch = stats_.epoch();
+    rec.prune = options_.eliminate_dead_rules;
+    if (status.ok()) {
+      rec.answers = answer.answers.size();
+      rec.answer_fingerprint = AnswerFingerprint(answer.answers);
+    } else {
+      rec.outcome = OutcomeName(status.code());
+      rec.error = status.message();
+    }
+    rec.budget_bytes = options_.limits.budget_bytes;
+    rec.deadline_ms = options_.limits.deadline_ms;
+    rec.peak_bytes = answer.peak_bytes;
+    rec.tuples_examined = answer.tuples_examined;
+    rec.tuples_derived = answer.tuples_derived;
+    rec.fixpoint_rounds = answer.fixpoint_rounds;
+    rec.rule_firings = rule_firings;
+    rec.cancel_checks = answer.cancel_checks;
+    rec.optimize_ms = answer.optimize_ms;
+    rec.execute_ms = answer.execute_ms;
+    rec.total_ms = MsSince(query_start);
+    query_log_->Append(std::move(rec));
+  }
+
+  LDL_RETURN_NOT_OK(status);
   return answer;
 }
 

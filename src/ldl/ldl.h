@@ -10,6 +10,8 @@
 #include "base/status.h"
 #include "engine/query_eval.h"
 #include "obs/calibration.h"
+#include "obs/query_log.h"
+#include "obs/resource.h"
 #include "optimizer/optimizer.h"
 #include "safety/safety.h"
 #include "storage/database.h"
@@ -25,6 +27,17 @@ struct QueryAnswer {
   QueryPlan plan;
   FixpointStats exec_stats;
   std::string note;
+
+  // Lifecycle profile, populated by LdlSystem::Query. The resource meters
+  // are zero when the query ran unmetered (no limits, no query log, no
+  // session accountant installed in options.trace).
+  uint64_t peak_bytes = 0;
+  uint64_t tuples_examined = 0;
+  uint64_t tuples_derived = 0;
+  uint64_t fixpoint_rounds = 0;
+  uint64_t cancel_checks = 0;
+  double optimize_ms = 0;
+  double execute_ms = 0;
 };
 
 /// The top-level LDL system facade: a knowledge base (rule base + fact
@@ -68,11 +81,20 @@ class LdlSystem {
     return program_.queries();
   }
 
-  /// Recomputes catalog statistics from the current fact base. Called
-  /// automatically on the first query after loading; call explicitly after
-  /// bulk updates through database().
+  /// Recomputes catalog statistics from the current fact base (bumping the
+  /// statistics epoch that query-log records carry). Called automatically
+  /// on the first query after loading; call explicitly after bulk updates
+  /// through database().
   void RefreshStatistics();
   const Statistics& statistics();
+
+  /// Installs a structured query log: every Query() call appends one
+  /// QueryLogRecord (on success AND on typed failure). Also engages
+  /// per-query resource metering so records carry real resource profiles.
+  /// Pass nullptr to detach. The log must outlive the system or be detached
+  /// first.
+  void set_query_log(QueryLog* log) { query_log_ = log; }
+  QueryLog* query_log() const { return query_log_; }
 
   /// Optimizes the query form only (no execution).
   Result<QueryPlan> Plan(std::string_view goal_text);
@@ -152,6 +174,7 @@ class LdlSystem {
   Database db_;
   Statistics stats_;
   bool stats_dirty_ = true;
+  QueryLog* query_log_ = nullptr;
 };
 
 }  // namespace ldl

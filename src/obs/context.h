@@ -5,7 +5,9 @@
 #include <string_view>
 #include <unordered_map>
 
+#include "base/status.h"
 #include "obs/metrics.h"
+#include "obs/resource.h"
 #include "obs/trace.h"
 
 namespace ldl {
@@ -23,8 +25,22 @@ struct TraceContext {
   /// lattice, per-clique method races. Consulted only by the optimizer;
   /// sites must check both non-null and enabled() before building labels.
   SearchTracer* search = nullptr;
+  /// Per-query resource meter; Relation/Database storage and the NR-OPT
+  /// memo charge bytes here when attached (obs/resource.h).
+  ResourceAccountant* accountant = nullptr;
+  /// Cooperative cancel/deadline/budget handle; the engine and optimizer
+  /// call CheckCancel() at bounded intervals.
+  CancellationToken* cancel = nullptr;
 
   bool active() const { return tracer != nullptr || metrics != nullptr; }
+
+  /// Cooperative check-point: typed abort Status when the query was
+  /// cancelled, its deadline passed, or an attached budget tripped. The
+  /// disabled path (no token) is one branch.
+  Status CheckCancel() const {
+    if (cancel == nullptr) return Status::OK();
+    return cancel->Check();
+  }
 
   /// Starts a span against the tracer (inert when absent/disabled).
   Span StartSpan(std::string_view name,

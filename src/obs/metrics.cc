@@ -7,42 +7,69 @@
 
 namespace ldl {
 
+namespace {
+
+/// CAS add for atomic<double> (fetch_add on floating atomics is C++20;
+/// this is the portable spelling and compiles to the same loop).
+void AtomicAddDouble(std::atomic<double>* a, double v) {
+  double cur = a->load(std::memory_order_relaxed);
+  while (!a->compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMinDouble(std::atomic<double>* a, double v) {
+  double cur = a->load(std::memory_order_relaxed);
+  while (v < cur &&
+         !a->compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMaxDouble(std::atomic<double>* a, double v) {
+  double cur = a->load(std::memory_order_relaxed);
+  while (v > cur &&
+         !a->compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
 void Histogram::Record(double v) {
-  std::lock_guard<std::mutex> lock(mu_);
-  count_++;
-  sum_ += v;
-  if (v < min_) min_ = v;
-  if (v > max_) max_ = v;
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAddDouble(&sum_, v);
+  AtomicMinDouble(&min_, v);
+  AtomicMaxDouble(&max_, v);
   size_t b = 0;
   if (v >= 1) {
     b = static_cast<size_t>(std::log2(v)) + 1;
     if (b >= kBuckets) b = kBuckets - 1;
   }
-  buckets_[b]++;
+  buckets_[b].fetch_add(1, std::memory_order_relaxed);
 }
 
 double Histogram::percentile(double p) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (count_ == 0) return 0;
-  if (p <= 0) return min_;
-  if (p >= 1) return max_;
-  const double target = p * static_cast<double>(count_);
+  const uint64_t n = count();
+  if (n == 0) return 0;
+  const double lo_seen = min_.load(std::memory_order_relaxed);
+  const double hi_seen = max_.load(std::memory_order_relaxed);
+  if (p <= 0) return lo_seen;
+  if (p >= 1) return hi_seen;
+  const double target = p * static_cast<double>(n);
   double cum = 0;
   for (size_t b = 0; b < kBuckets; ++b) {
-    if (buckets_[b] == 0) continue;
-    const double next = cum + static_cast<double>(buckets_[b]);
+    const uint64_t in_bucket = buckets_[b].load(std::memory_order_relaxed);
+    if (in_bucket == 0) continue;
+    const double next = cum + static_cast<double>(in_bucket);
     if (target <= next) {
       // Bucket 0 holds [0, 1); bucket b >= 1 holds [2^(b-1), 2^b).
       const double lo = b == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(b) - 1);
       const double hi = std::ldexp(1.0, static_cast<int>(b));
-      const double frac =
-          (target - cum) / static_cast<double>(buckets_[b]);
+      const double frac = (target - cum) / static_cast<double>(in_bucket);
       const double v = lo + frac * (hi - lo);
-      return std::min(std::max(v, min_), max_);
+      return std::min(std::max(v, lo_seen), hi_seen);
     }
     cum = next;
   }
-  return max_;
+  return hi_seen;
 }
 
 Counter* MetricsRegistry::counter(std::string_view name) {

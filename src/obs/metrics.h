@@ -38,35 +38,32 @@ class Gauge {
 /// Streaming summary of an observed distribution: count/sum/min/max plus
 /// power-of-two buckets, enough to see the shape of per-round delta sizes
 /// or per-call optimization times without storing samples.
+///
+/// Record() is lock-free: it sits on per-tuple paths, and under the future
+/// parallel engine a mutex here would serialize every worker. Each field is
+/// an independent atomic updated with CAS loops, so concurrent readers see
+/// each field exactly but the fields only mutually consistent once writers
+/// quiesce — the right trade for monitoring data.
 class Histogram {
  public:
   static constexpr size_t kBuckets = 32;  ///< bucket i holds v in [2^i-1, 2^i)
 
   void Record(double v);
 
-  uint64_t count() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return count_;
-  }
-  double sum() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return sum_;
-  }
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
   double min() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return count_ == 0 ? 0 : min_;
+    return count() == 0 ? 0 : min_.load(std::memory_order_relaxed);
   }
   double max() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return count_ == 0 ? 0 : max_;
+    return count() == 0 ? 0 : max_.load(std::memory_order_relaxed);
   }
   double mean() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return count_ == 0 ? 0 : sum_ / count_;
+    uint64_t n = count();
+    return n == 0 ? 0 : sum() / static_cast<double>(n);
   }
   uint64_t bucket(size_t i) const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return buckets_[i];
+    return buckets_[i].load(std::memory_order_relaxed);
   }
 
   /// Interpolated percentile estimate, `p` in [0, 1]: walks the log2
@@ -77,12 +74,11 @@ class Histogram {
   double percentile(double p) const;
 
  private:
-  mutable std::mutex mu_;
-  uint64_t count_ = 0;
-  double sum_ = 0;
-  double min_ = std::numeric_limits<double>::infinity();
-  double max_ = -std::numeric_limits<double>::infinity();
-  uint64_t buckets_[kBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0};
+  std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
+  std::atomic<uint64_t> buckets_[kBuckets] = {};
 };
 
 /// Named registry of counters/gauges/histograms. Lookup takes a lock;

@@ -1,0 +1,69 @@
+#include "obs/resource.h"
+
+#include <cstdio>
+
+namespace ldl {
+namespace {
+
+std::string HumanBytes(uint64_t n) {
+  char buf[32];
+  if (n >= 1024 * 1024) {
+    std::snprintf(buf, sizeof(buf), "%.1fMiB",
+                  static_cast<double>(n) / (1024.0 * 1024.0));
+  } else if (n >= 1024) {
+    std::snprintf(buf, sizeof(buf), "%.1fKiB", static_cast<double>(n) / 1024.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lluB",
+                  static_cast<unsigned long long>(n));
+  }
+  return buf;
+}
+
+}  // namespace
+
+Status ResourceAccountant::CheckBudget() const {
+  int level = 0;
+  for (const ResourceAccountant* acc = this; acc != nullptr;
+       acc = acc->parent_, ++level) {
+    const ResourceBudget& b = acc->budget_;
+    if (b.max_bytes != 0) {
+      uint64_t cur = acc->current_bytes_.load(std::memory_order_relaxed);
+      if (cur > b.max_bytes) {
+        return Status::ResourceExhausted(
+            "memory budget exceeded at accountant level " +
+            std::to_string(level) + ": " + HumanBytes(cur) + " held > " +
+            HumanBytes(b.max_bytes) + " allowed");
+      }
+    }
+    if (b.max_tuples_examined != 0) {
+      uint64_t seen = acc->tuples_examined_.load(std::memory_order_relaxed);
+      if (seen > b.max_tuples_examined) {
+        return Status::ResourceExhausted(
+            "tuple budget exceeded at accountant level " +
+            std::to_string(level) + ": " + std::to_string(seen) +
+            " tuples examined > " + std::to_string(b.max_tuples_examined) +
+            " allowed");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status CancellationToken::Check() {
+  checks_.fetch_add(1, std::memory_order_relaxed);
+  for (CancellationToken* tok = this; tok != nullptr; tok = tok->parent_) {
+    if (tok->cancelled_.load(std::memory_order_relaxed)) {
+      return Status::Cancelled("query cancelled by caller");
+    }
+    if (tok->deadline_.has_value() &&
+        std::chrono::steady_clock::now() > *tok->deadline_) {
+      return Status::DeadlineExceeded("query ran past its deadline");
+    }
+    if (tok->accountant_ != nullptr) {
+      LDL_RETURN_NOT_OK(tok->accountant_->CheckBudget());
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace ldl

@@ -31,7 +31,7 @@ void Tracer::WriteChromeTrace(std::ostream& os) const {
     }
     os << "}";
   }
-  os << "\n]}\n";
+  os << "\n],\"droppedEvents\":" << dropped_events_ << "}\n";
 }
 
 }  // namespace ldl

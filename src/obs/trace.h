@@ -50,12 +50,35 @@ class Tracer {
 
   void Record(TraceEvent event) {
     std::lock_guard<std::mutex> lock(mu_);
+    if (events_.size() >= max_events_) {
+      // Keep the oldest spans: the head of a trace (setup, optimize, first
+      // rounds) is what explains a runaway query; the tail repeats.
+      ++dropped_events_;
+      return;
+    }
     events_.push_back(std::move(event));
   }
 
   size_t event_count() const {
     std::lock_guard<std::mutex> lock(mu_);
     return events_.size();
+  }
+
+  /// Buffer cap; once reached, further events are counted, not stored, so a
+  /// looping workload cannot grow the tracer unboundedly.
+  void set_max_events(size_t n) {
+    std::lock_guard<std::mutex> lock(mu_);
+    max_events_ = n;
+  }
+  size_t max_events() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return max_events_;
+  }
+
+  /// Events rejected because the buffer was full (reset by Clear()).
+  uint64_t dropped_events() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return dropped_events_;
   }
 
   std::vector<TraceEvent> snapshot() const {
@@ -66,6 +89,7 @@ class Tracer {
   void Clear() {
     std::lock_guard<std::mutex> lock(mu_);
     events_.clear();
+    dropped_events_ = 0;
   }
 
   /// Writes the collected spans as Chrome trace_event JSON — an object with
@@ -74,9 +98,13 @@ class Tracer {
   void WriteChromeTrace(std::ostream& os) const;
 
  private:
+  static constexpr size_t kDefaultMaxEvents = 64 * 1024;
+
   std::atomic<bool> enabled_{true};
   mutable std::mutex mu_;
   std::vector<TraceEvent> events_;
+  size_t max_events_ = kDefaultMaxEvents;
+  uint64_t dropped_events_ = 0;
   std::chrono::steady_clock::time_point epoch_;
 };
 

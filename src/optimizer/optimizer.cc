@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <set>
 #include <sstream>
 
 #include "analysis/analyzer.h"
 #include "analysis/plan_verifier.h"
+#include "base/hash.h"
 #include "base/strings.h"
 #include "engine/counting.h"
 #include "obs/search_trace.h"
@@ -53,6 +55,44 @@ Optimizer::Optimizer(const Program& program, const Statistics& stats,
       graph_(DependencyGraph::Build(program)),
       model_(options_.cost),
       strategy_(MakeStrategy(options_.strategy, options_.strategy_options)) {}
+
+Optimizer::~Optimizer() {
+  if (options_.trace.accountant != nullptr && memo_charged_bytes_ != 0) {
+    options_.trace.accountant->ReleaseBytes(memo_charged_bytes_);
+  }
+}
+
+bool Optimizer::Aborted() {
+  if (!aborted_status_.ok()) return true;
+  if (options_.trace.cancel == nullptr) return false;
+  Status st = options_.trace.cancel->Check();
+  if (st.ok()) return false;
+  aborted_status_ = std::move(st);
+  return true;
+}
+
+Optimizer::Subplan Optimizer::AbortedSubplan() const {
+  // Cheap, safe, never memoized: only exists so the in-flight recursion
+  // unwinds without tripping estimation paths; Optimize() discards the
+  // whole plan and returns aborted_status_.
+  Subplan sub;
+  sub.est.safe = true;
+  sub.est.card = 1;
+  sub.note = "optimization aborted";
+  return sub;
+}
+
+uint64_t Optimizer::ApproxSubplanBytes(const Subplan& sub) const {
+  uint64_t n = sizeof(AdornedPredicate) + sizeof(Subplan);
+  for (const auto& [rule_index, order] : sub.orders) {
+    n += sizeof(rule_index) + order.capacity() * sizeof(size_t) +
+         sizeof(order);
+  }
+  n += (sub.children.capacity() + sub.materialized_children.capacity()) *
+       sizeof(AdornedPredicate);
+  n += sub.note.size();
+  return n;
+}
 
 SearchTracer* Optimizer::Tracing() const {
   SearchTracer* st = options_.trace.search;
@@ -187,6 +227,10 @@ ConjunctItem Optimizer::MakeItem(const Literal& lit, Subplan* parent) {
 }
 
 Optimizer::Subplan Optimizer::OptimizePredicate(const AdornedPredicate& ap) {
+  // Cooperative abort: every subplan optimization is a check-point, so a
+  // deadline or budget violation stops the search within one subplan's
+  // worth of work instead of finishing an exponential enumeration.
+  if (Aborted()) return AbortedSubplan();
   // Static pruning (analysis/analyzer.h): adornments outside the query's
   // reachable closure are answered with a placeholder instead of being
   // optimized — and deliberately NOT memoized, so the memo lattice (and
@@ -270,8 +314,18 @@ Optimizer::Subplan Optimizer::OptimizePredicate(const AdornedPredicate& ap) {
     }
   }
 
+  // A result computed after an abort latched may be built from placeholder
+  // children — never memoize it (it would poison later Optimize calls).
+  if (!aborted_status_.ok()) return AbortedSubplan();
   TraceMemoNode(trace_key, ap, &result);
-  if (options_.memoize) memo_[ap] = result;
+  if (options_.memoize) {
+    memo_[ap] = result;
+    if (options_.trace.accountant != nullptr) {
+      const uint64_t entry_bytes = ApproxSubplanBytes(result);
+      memo_charged_bytes_ += entry_bytes;
+      options_.trace.accountant->AddBytes(entry_bytes);
+    }
+  }
   return result;
 }
 
@@ -793,6 +847,7 @@ Result<QueryPlan> Optimizer::Optimize(const Literal& goal) {
   // calls (with the memo persisting across them), but the stats describe
   // one call, not the instance's lifetime.
   search_stats_ = PlanSearchStats{};
+  aborted_status_ = Status::OK();
   const auto wall_start = std::chrono::steady_clock::now();
 
   QueryPlan plan;
@@ -801,6 +856,7 @@ Result<QueryPlan> Optimizer::Optimize(const Literal& goal) {
 
   AdornedPredicate ap{goal.predicate(), plan.adornment};
   Subplan sub = OptimizePredicate(ap);
+  if (!aborted_status_.ok()) return aborted_status_;
   plan.estimate = sub.est;
   plan.safe = sub.est.safe;
   if (!plan.safe) {
@@ -878,6 +934,36 @@ std::string QueryPlan::Explain(const Program& program) const {
   }
   os << "\n";
   return os.str();
+}
+
+std::string QueryPlan::Fingerprint() const {
+  // Decisions only — no costs or wall times, so two runs with different
+  // hardware but identical choices fingerprint identically. Unordered
+  // containers are folded in sorted order.
+  size_t seed = 0;
+  HashValue(&seed, goal.predicate().ToString());
+  HashValue(&seed, adornment.ToString());
+  HashValue(&seed, safe);
+  HashValue(&seed, std::string(RecursionMethodToString(top_method)));
+  std::vector<std::pair<size_t, std::vector<size_t>>> orders(
+      rule_orders.begin(), rule_orders.end());
+  std::sort(orders.begin(), orders.end());
+  for (const auto& [rule_index, order] : orders) {
+    HashValue(&seed, rule_index);
+    for (size_t pos : order) HashValue(&seed, pos);
+    HashValue(&seed, order.size());
+  }
+  for (const auto& [clique_index, method] : clique_methods) {
+    HashValue(&seed, clique_index);
+    HashValue(&seed, std::string(RecursionMethodToString(method)));
+  }
+  std::vector<std::string> mats = materialized;
+  std::sort(mats.begin(), mats.end());
+  for (const std::string& m : mats) HashValue(&seed, m);
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(seed));
+  return buf;
 }
 
 

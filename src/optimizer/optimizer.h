@@ -82,7 +82,14 @@ struct OptimizerOptions {
   /// LdlSystem forwards the same context to the engine so estimates and
   /// measurements land in one registry. trace.search additionally records
   /// every candidate subplan and the memo lattice (obs/search_trace.h).
+  /// trace.cancel/trace.accountant make the search itself abortable: every
+  /// subplan optimization is a check-point, and memo entries are charged
+  /// against the byte budget.
   TraceContext trace;
+
+  /// Per-query resource/deadline limits, honored by LdlSystem::Query (which
+  /// builds the accountant + token from them). Zeroes = unlimited.
+  QueryLimits limits;
 
   /// LdlSystem::Query: record per-round fixpoint telemetry into
   /// QueryAnswer::exec_stats.per_iteration (see FixpointOptions). Off by
@@ -171,6 +178,12 @@ struct QueryPlan {
 
   /// Multi-line human-readable plan summary.
   std::string Explain(const Program& program) const;
+
+  /// Stable 16-hex-digit digest over every plan decision (adornment, top
+  /// method, rule orders, clique methods, materialization set). Two runs
+  /// that chose the same plan produce the same fingerprint — the query
+  /// log's plan identity, and what ldl_replay diffs against.
+  std::string Fingerprint() const;
 };
 
 /// The LDL query optimizer: implements NR-OPT (Figure 7-1) for the
@@ -183,6 +196,8 @@ class Optimizer {
   /// `program` and `stats` must outlive the optimizer.
   Optimizer(const Program& program, const Statistics& stats,
             OptimizerOptions options = {});
+  /// Releases memo byte charges from the attached accountant (if any).
+  ~Optimizer();
   /// Only references are stored; binding them to temporaries dangles (an
   /// AddressSanitizer find — see tests/analysis_test.cc history).
   Optimizer(const Program&&, const Statistics&, OptimizerOptions = {}) = delete;
@@ -245,6 +260,16 @@ class Optimizer {
   /// True iff the attached static analysis proved `ap` unreachable from
   /// the query (never true without options_.analysis).
   bool Unreachable(const AdornedPredicate& ap) const;
+
+  /// Cooperative abort inside the search: polls trace.cancel and latches
+  /// the first non-OK status into aborted_status_. Once aborted, subplan
+  /// optimization returns cheap placeholders (never memoized) so the
+  /// recursion unwinds fast; Optimize() surfaces the latched status.
+  bool Aborted();
+  Subplan AbortedSubplan() const;
+
+  /// Estimated footprint of one memo entry, charged to trace.accountant.
+  uint64_t ApproxSubplanBytes(const Subplan& sub) const;
   /// The shallow placeholder subplan returned for pruned-unreachable
   /// adornments: safe, costless, carded from the analysis sketch, never
   /// memoized.
@@ -272,6 +297,11 @@ class Optimizer {
   std::unique_ptr<JoinOrderStrategy> strategy_;
   std::unordered_map<AdornedPredicate, Subplan, AdornedPredicateHash> memo_;
   PlanSearchStats search_stats_;
+  /// First cancel/deadline/budget violation seen during the current
+  /// Optimize call (sticky until the next call starts).
+  Status aborted_status_;
+  /// Bytes charged to trace.accountant for memo_ entries so far.
+  uint64_t memo_charged_bytes_ = 0;
 };
 
 }  // namespace ldl

@@ -78,6 +78,7 @@ Result<const Relation*> TreeInterpreter::ExecuteNode(
     profile_.nodes[&node].memo_hits++;
     return it->second.get();
   }
+  LDL_RETURN_NOT_OK(trace_.CheckCancel());
 
   // Per-node actuals for EXPLAIN ANALYZE: wall time and tuples examined are
   // inclusive of the node's subtree (children execute inside this frame).
@@ -115,6 +116,9 @@ Result<const Relation*> TreeInterpreter::ExecuteNode(
                          .count();
 
   auto stored = std::make_unique<Relation>(std::move(result).value());
+  // The memo table holds derived tuples for the query's lifetime; charge it
+  // against the query's budget like any other derived storage.
+  if (trace_.accountant != nullptr) stored->set_accountant(trace_.accountant);
   const Relation* raw = stored.get();
   memo_[key] = std::move(stored);
   return raw;
@@ -209,6 +213,8 @@ Result<Relation> TreeInterpreter::ExecuteAnd(const PlanNode& node,
     return const_cast<Relation*>(*rel);
   };
   RuleEvalOptions options;
+  options.cancel = trace_.cancel;
+  options.accountant = trace_.accountant;
   options.pattern_resolver = [&](const Literal& lit, size_t pos,
                                  const std::vector<Term>& patterns)
       -> Relation* {
@@ -356,6 +362,7 @@ Result<Relation> TreeInterpreter::ExecuteCc(const PlanNode& node,
   // literals) into a merged database, alongside the base relations the
   // clique reads.
   Database merged;
+  merged.set_accountant(trace_.accountant);
   for (const auto& child : node.children) {
     if (child->kind == PlanNodeKind::kBuiltin) continue;
     if (child->kind == PlanNodeKind::kScan) {

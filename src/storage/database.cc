@@ -14,8 +14,14 @@ Relation* Database::GetOrCreate(const PredicateId& pred) {
              .emplace(pred,
                       std::make_unique<Relation>(pred.name, pred.arity))
              .first;
+    if (accountant_ != nullptr) it->second->set_accountant(accountant_);
   }
   return it->second.get();
+}
+
+void Database::set_accountant(ResourceAccountant* accountant) {
+  accountant_ = accountant;
+  for (auto& [_, rel] : relations_) rel->set_accountant(accountant);
 }
 
 Relation* Database::Find(const PredicateId& pred) {

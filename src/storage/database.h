@@ -28,6 +28,12 @@ class Database {
   /// Returns the relation for `pred`, creating an empty one if absent.
   Relation* GetOrCreate(const PredicateId& pred);
 
+  /// Attaches a resource accountant to every current relation and to
+  /// relations created later; nullptr detaches. Used on per-query scratch
+  /// databases so derived-tuple storage counts against the query's budget.
+  void set_accountant(ResourceAccountant* accountant);
+  ResourceAccountant* accountant() const { return accountant_; }
+
   /// Returns the relation or nullptr.
   Relation* Find(const PredicateId& pred);
   const Relation* Find(const PredicateId& pred) const;
@@ -47,6 +53,7 @@ class Database {
  private:
   std::unordered_map<PredicateId, std::unique_ptr<Relation>, PredicateIdHash>
       relations_;
+  ResourceAccountant* accountant_ = nullptr;
 };
 
 }  // namespace ldl

@@ -19,6 +19,54 @@ std::string TupleToString(const Tuple& t) {
   return os.str();
 }
 
+size_t ApproxTermBytes(const Term& t) {
+  size_t n = sizeof(Term) + t.text().size();
+  if (t.IsFunction()) {
+    for (const Term& a : t.args()) n += ApproxTermBytes(a);
+  }
+  return n;
+}
+
+size_t ApproxTupleBytes(const Tuple& t) {
+  size_t n = sizeof(Tuple);
+  for (const Term& v : t) n += ApproxTermBytes(v);
+  return n;
+}
+
+namespace {
+
+// Per-tuple overhead of the dedup map entry (hash key + one posting id).
+constexpr size_t kDedupEntryBytes = sizeof(size_t) + sizeof(uint32_t);
+
+}  // namespace
+
+uint64_t Relation::EstimateBytes() const {
+  uint64_t n = 0;
+  for (const Tuple& t : tuples_) n += ApproxTupleBytes(t) + kDedupEntryBytes;
+  for (const auto& [cols, index] : indexes_) {
+    for (const auto& [key, postings] : index.postings) {
+      n += ApproxTupleBytes(key) + postings.size() * sizeof(uint32_t);
+    }
+  }
+  return n;
+}
+
+void Relation::set_accountant(ResourceAccountant* accountant) {
+  if (accountant == accountant_) return;
+  // Release the standing charge from the old accountant, then charge a
+  // fresh estimate of current contents against the new one (attachment can
+  // happen after the relation was populated un-instrumented).
+  if (accountant_ != nullptr && charged_bytes_ != 0) {
+    accountant_->ReleaseBytes(charged_bytes_);
+  }
+  accountant_ = accountant;
+  charged_bytes_ = 0;
+  if (accountant_ != nullptr) {
+    charged_bytes_ = EstimateBytes();
+    if (charged_bytes_ != 0) accountant_->AddBytes(charged_bytes_);
+  }
+}
+
 bool Relation::Insert(Tuple t) {
   assert(t.size() == arity_ && "tuple arity mismatch");
   if (t.size() != arity_) return false;
@@ -28,6 +76,9 @@ bool Relation::Insert(Tuple t) {
     if (tuples_[id] == t) return false;
   }
   bucket.push_back(static_cast<uint32_t>(tuples_.size()));
+  if (accountant_ != nullptr) {
+    ChargeDelta(ApproxTupleBytes(t) + kDedupEntryBytes, 0);
+  }
   tuples_.push_back(std::move(t));
   return true;
 }
@@ -51,6 +102,7 @@ bool Relation::Contains(const Tuple& t) const {
 }
 
 void Relation::Clear() {
+  ChargeDelta(0, charged_bytes_);
   tuples_.clear();
   dedup_.clear();
   indexes_.clear();
@@ -66,13 +118,18 @@ const std::vector<uint32_t>& Relation::Lookup(const std::vector<int>& cols,
 }
 
 void Relation::ExtendIndex(const std::vector<int>& cols, Index* index) {
+  uint64_t added_bytes = 0;
   for (size_t id = index->built_upto; id < tuples_.size(); ++id) {
     Tuple key;
     key.reserve(cols.size());
     for (int c : cols) key.push_back(tuples_[id][c]);
+    if (accountant_ != nullptr) {
+      added_bytes += ApproxTupleBytes(key) + sizeof(uint32_t);
+    }
     index->postings[std::move(key)].push_back(static_cast<uint32_t>(id));
   }
   index->built_upto = tuples_.size();
+  ChargeDelta(added_bytes, 0);
 }
 
 size_t Relation::DistinctCount(size_t col) const {

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "base/status.h"
+#include "obs/resource.h"
 #include "storage/tuple.h"
 
 namespace ldl {
@@ -17,11 +18,83 @@ namespace ldl {
 ///
 /// Indexes survive inserts (they are extended on next access), which matters
 /// because fixpoint evaluation keeps inserting into the relations it reads.
+///
+/// Relations can carry an optional (non-owning) ResourceAccountant: tuple
+/// and index storage is charged as it grows and released when the relation
+/// clears or dies, which is how per-query peak-bytes accounting reaches
+/// scratch databases and memo tables. The exact amount charged so far is
+/// tracked internally so release always balances charge even if the
+/// estimation formula evolves.
 class Relation {
  public:
   Relation() = default;
   Relation(std::string name, size_t arity)
       : name_(std::move(name)), arity_(arity) {}
+
+  ~Relation() { ChargeDelta(0, charged_bytes_); }
+
+  Relation(const Relation& other)
+      : name_(other.name_),
+        arity_(other.arity_),
+        tuples_(other.tuples_),
+        dedup_(other.dedup_),
+        indexes_(other.indexes_),
+        accountant_(other.accountant_) {
+    charged_bytes_ = 0;
+    ChargeDelta(other.charged_bytes_, 0);
+  }
+  Relation& operator=(const Relation& other) {
+    if (this == &other) return *this;
+    ChargeDelta(0, charged_bytes_);
+    name_ = other.name_;
+    arity_ = other.arity_;
+    tuples_ = other.tuples_;
+    dedup_ = other.dedup_;
+    indexes_ = other.indexes_;
+    accountant_ = other.accountant_;
+    charged_bytes_ = 0;
+    ChargeDelta(other.charged_bytes_, 0);
+    return *this;
+  }
+  Relation(Relation&& other) noexcept
+      : name_(std::move(other.name_)),
+        arity_(other.arity_),
+        tuples_(std::move(other.tuples_)),
+        dedup_(std::move(other.dedup_)),
+        indexes_(std::move(other.indexes_)),
+        accountant_(other.accountant_),
+        charged_bytes_(other.charged_bytes_) {
+    // The charge moves with the data: the source no longer owes anything.
+    other.charged_bytes_ = 0;
+    other.tuples_.clear();
+    other.dedup_.clear();
+    other.indexes_.clear();
+  }
+  Relation& operator=(Relation&& other) noexcept {
+    if (this == &other) return *this;
+    ChargeDelta(0, charged_bytes_);
+    name_ = std::move(other.name_);
+    arity_ = other.arity_;
+    tuples_ = std::move(other.tuples_);
+    dedup_ = std::move(other.dedup_);
+    indexes_ = std::move(other.indexes_);
+    accountant_ = other.accountant_;
+    charged_bytes_ = other.charged_bytes_;
+    other.charged_bytes_ = 0;
+    other.tuples_.clear();
+    other.dedup_.clear();
+    other.indexes_.clear();
+    return *this;
+  }
+
+  /// Attaches (or detaches, with nullptr) a resource accountant. Current
+  /// contents are re-charged against the new accountant and released from
+  /// the old one, so attachment order doesn't matter.
+  void set_accountant(ResourceAccountant* accountant);
+  ResourceAccountant* accountant() const { return accountant_; }
+
+  /// Estimated bytes currently charged for tuple + index storage.
+  uint64_t charged_bytes() const { return charged_bytes_; }
 
   const std::string& name() const { return name_; }
   size_t arity() const { return arity_; }
@@ -63,6 +136,20 @@ class Relation {
 
   void ExtendIndex(const std::vector<int>& cols, Index* index);
 
+  /// Fresh estimate of tuple + dedup + index storage from current contents.
+  uint64_t EstimateBytes() const;
+
+  /// Adjusts charged_bytes_ and forwards the delta to the accountant.
+  /// No-op without an accountant: unattached relations track nothing, so
+  /// the common (un-instrumented) path costs one branch.
+  void ChargeDelta(uint64_t add, uint64_t release) {
+    if (accountant_ == nullptr) return;
+    charged_bytes_ += add;
+    charged_bytes_ = charged_bytes_ >= release ? charged_bytes_ - release : 0;
+    if (add != 0) accountant_->AddBytes(add);
+    if (release != 0) accountant_->ReleaseBytes(release);
+  }
+
   std::string name_;
   size_t arity_ = 0;
   std::vector<Tuple> tuples_;
@@ -70,6 +157,8 @@ class Relation {
   std::unordered_map<size_t, std::vector<uint32_t>> dedup_;
   // Secondary indexes keyed by the (sorted) column list.
   std::map<std::vector<int>, Index> indexes_;
+  ResourceAccountant* accountant_ = nullptr;
+  uint64_t charged_bytes_ = 0;
 };
 
 }  // namespace ldl

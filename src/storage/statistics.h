@@ -1,6 +1,7 @@
 #ifndef LDLOPT_STORAGE_STATISTICS_H_
 #define LDLOPT_STORAGE_STATISTICS_H_
 
+#include <cstdint>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -51,11 +52,18 @@ class Statistics {
   const RelationStats& default_stats() const { return default_stats_; }
   void set_default_stats(RelationStats s) { default_stats_ = std::move(s); }
 
+  /// Snapshot generation: bumped each time the owner re-collects statistics
+  /// (LdlSystem::RefreshStatistics). Logged per query so offline analysis
+  /// can tell which plan decisions predate a stats refresh.
+  uint64_t epoch() const { return epoch_; }
+  void set_epoch(uint64_t e) { epoch_ = e; }
+
   std::string ToString() const;
 
  private:
   std::unordered_map<PredicateId, RelationStats, PredicateIdHash> stats_;
   RelationStats default_stats_{100.0, {}};
+  uint64_t epoch_ = 0;
 };
 
 }  // namespace ldl

@@ -25,6 +25,13 @@ struct TupleHash {
 /// "(a, 1, f(b))".
 std::string TupleToString(const Tuple& t);
 
+/// Rough in-memory footprint of a term / tuple, used by resource
+/// accounting. Deliberately cheap (no heap introspection): object size plus
+/// string payload plus recursive function arguments. Consistency matters
+/// more than precision — charge and release use the same formula.
+size_t ApproxTermBytes(const Term& t);
+size_t ApproxTupleBytes(const Tuple& t);
+
 }  // namespace ldl
 
 #endif  // LDLOPT_STORAGE_TUPLE_H_

@@ -1,0 +1,331 @@
+// Tests for the query-lifecycle layer: per-query resource accounting
+// (ResourceAccountant, relation byte charging), cooperative cancellation
+// with deadlines and budgets (CancellationToken), and the typed abort
+// statuses LdlSystem::Query returns when a limit is hit — including the
+// bounded cancellation-check cadence inside the innermost join loop.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "base/rng.h"
+#include "base/status.h"
+#include "ldl/ldl.h"
+#include "obs/query_log.h"
+#include "obs/resource.h"
+#include "storage/relation.h"
+#include "testing/program_gen.h"
+
+namespace ldl {
+namespace {
+
+// A chain EDB with a cycle closing edge: tc is quadratic in the chain
+// length, so n = 200 derives tens of thousands of tuples — plenty of work
+// for budgets to interrupt.
+std::string ChainProgram(int n, bool close_cycle) {
+  std::string text =
+      "tc(X, Y) <- edge(X, Y).\n"
+      "tc(X, Y) <- edge(X, Z), tc(Z, Y).\n";
+  for (int i = 0; i < n; ++i) {
+    text += "edge(n" + std::to_string(i) + ", n" + std::to_string(i + 1) +
+            ").\n";
+  }
+  if (close_cycle) {
+    text += "edge(n" + std::to_string(n) + ", n0).\n";
+  }
+  return text;
+}
+
+TEST(ResourceAccountantTest, TracksCurrentAndPeakBytes) {
+  ResourceAccountant acc;
+  acc.AddBytes(100);
+  acc.AddBytes(50);
+  EXPECT_EQ(acc.current_bytes(), 150u);
+  EXPECT_EQ(acc.peak_bytes(), 150u);
+  acc.ReleaseBytes(120);
+  EXPECT_EQ(acc.current_bytes(), 30u);
+  EXPECT_EQ(acc.peak_bytes(), 150u);  // peak survives release
+  // Saturating release: estimate drift must never wrap.
+  acc.ReleaseBytes(1000);
+  EXPECT_EQ(acc.current_bytes(), 0u);
+}
+
+TEST(ResourceAccountantTest, ChargesRollUpToParent) {
+  ResourceAccountant session;
+  ResourceAccountant query(&session);
+  query.AddBytes(64);
+  query.AddTuplesExamined(10);
+  query.AddTuplesDerived(5);
+  query.AddFixpointRounds(2);
+  EXPECT_EQ(session.current_bytes(), 64u);
+  EXPECT_EQ(session.tuples_examined(), 10u);
+  EXPECT_EQ(session.tuples_derived(), 5u);
+  EXPECT_EQ(session.fixpoint_rounds(), 2u);
+  query.ReleaseBytes(64);
+  EXPECT_EQ(session.current_bytes(), 0u);
+}
+
+TEST(ResourceAccountantTest, BudgetViolationIsTyped) {
+  ResourceAccountant acc;
+  ResourceBudget budget;
+  budget.max_bytes = 100;
+  acc.set_budget(budget);
+  EXPECT_TRUE(acc.CheckBudget().ok());
+  acc.AddBytes(101);
+  Status st = acc.CheckBudget();
+  EXPECT_EQ(st.code(), StatusCode::kResourceExhausted);
+}
+
+TEST(ResourceAccountantTest, AncestorBudgetBindsTheQuery) {
+  ResourceAccountant session;
+  ResourceBudget session_budget;
+  session_budget.max_tuples_examined = 50;
+  session.set_budget(session_budget);
+  ResourceAccountant query(&session);  // query itself is unlimited
+  query.AddTuplesExamined(60);
+  EXPECT_TRUE(query.CheckBudget().ok() == false);
+  EXPECT_EQ(query.CheckBudget().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(CancellationTokenTest, RequestCancelWinsOverEverything) {
+  ResourceAccountant acc;
+  ResourceBudget budget;
+  budget.max_bytes = 1;
+  acc.set_budget(budget);
+  acc.AddBytes(10);  // over budget
+  CancellationToken token;
+  token.set_accountant(&acc);
+  token.RequestCancel();
+  EXPECT_EQ(token.Check().code(), StatusCode::kCancelled);
+}
+
+TEST(CancellationTokenTest, ExpiredDeadlineIsTyped) {
+  CancellationToken token;
+  token.set_deadline_after(std::chrono::duration<double, std::milli>(-1));
+  EXPECT_EQ(token.Check().code(), StatusCode::kDeadlineExceeded);
+  token.clear_deadline();
+  EXPECT_TRUE(token.Check().ok());
+}
+
+TEST(CancellationTokenTest, ParentCancelPropagates) {
+  CancellationToken session;
+  CancellationToken query(&session);
+  EXPECT_TRUE(query.Check().ok());
+  session.RequestCancel();
+  EXPECT_EQ(query.Check().code(), StatusCode::kCancelled);
+}
+
+TEST(CancellationTokenTest, CountsChecks) {
+  CancellationToken token;
+  for (int i = 0; i < 5; ++i) (void)token.Check();
+  EXPECT_EQ(token.checks(), 5u);
+}
+
+TEST(RelationAccountingTest, InsertChargesAndClearReleases) {
+  ResourceAccountant acc;
+  Relation rel("r", 2);
+  rel.set_accountant(&acc);
+  rel.Insert({Term::MakeSymbol("a"), Term::MakeSymbol("b")});
+  rel.Insert({Term::MakeSymbol("c"), Term::MakeSymbol("d")});
+  EXPECT_GT(acc.current_bytes(), 0u);
+  EXPECT_EQ(acc.current_bytes(), rel.charged_bytes());
+  rel.Clear();
+  EXPECT_EQ(acc.current_bytes(), 0u);
+}
+
+TEST(RelationAccountingTest, DestructorReleasesCharge) {
+  ResourceAccountant acc;
+  {
+    Relation rel("r", 1);
+    rel.set_accountant(&acc);
+    rel.Insert({Term::MakeSymbol("a")});
+    EXPECT_GT(acc.current_bytes(), 0u);
+  }
+  EXPECT_EQ(acc.current_bytes(), 0u);
+}
+
+TEST(RelationAccountingTest, LateAttachChargesExistingContents) {
+  ResourceAccountant acc;
+  Relation rel("r", 1);
+  rel.Insert({Term::MakeSymbol("a")});
+  EXPECT_EQ(acc.current_bytes(), 0u);  // unattached inserts are free
+  rel.set_accountant(&acc);
+  EXPECT_GT(acc.current_bytes(), 0u);
+  rel.set_accountant(nullptr);
+  EXPECT_EQ(acc.current_bytes(), 0u);
+}
+
+// --- LdlSystem-level lifecycle ---
+
+TEST(QueryLifecycleTest, ByteBudgetAbortsWithResourceExhausted) {
+  LdlSystem sys;
+  ASSERT_TRUE(sys.LoadProgram(ChainProgram(200, /*close_cycle=*/false)).ok());
+  OptimizerOptions options;
+  options.limits.budget_bytes = 64 * 1024;  // far below tc's footprint
+  sys.set_options(options);
+  auto answer = sys.Query("tc(X, Y)");
+  ASSERT_FALSE(answer.ok());
+  EXPECT_EQ(answer.status().code(), StatusCode::kResourceExhausted)
+      << answer.status().ToString();
+}
+
+TEST(QueryLifecycleTest, TupleBudgetAbortsWithResourceExhausted) {
+  LdlSystem sys;
+  ASSERT_TRUE(sys.LoadProgram(ChainProgram(200, /*close_cycle=*/false)).ok());
+  OptimizerOptions options;
+  options.limits.budget_tuples = 2048;
+  sys.set_options(options);
+  auto answer = sys.Query("tc(X, Y)");
+  ASSERT_FALSE(answer.ok());
+  EXPECT_EQ(answer.status().code(), StatusCode::kResourceExhausted)
+      << answer.status().ToString();
+}
+
+TEST(QueryLifecycleTest, ExpiredDeadlineAbortsWithDeadlineExceeded) {
+  LdlSystem sys;
+  ASSERT_TRUE(sys.LoadProgram(ChainProgram(100, /*close_cycle=*/false)).ok());
+  OptimizerOptions options;
+  // Already expired at the first check-point — deterministic on any
+  // machine, unlike a "short" deadline a fast run could beat.
+  options.limits.deadline_ms = 1e-9;
+  sys.set_options(options);
+  auto answer = sys.Query("tc(X, Y)");
+  ASSERT_FALSE(answer.ok());
+  EXPECT_EQ(answer.status().code(), StatusCode::kDeadlineExceeded)
+      << answer.status().ToString();
+}
+
+TEST(QueryLifecycleTest, WithinBudgetQuerySucceedsWithProfile) {
+  LdlSystem sys;
+  ASSERT_TRUE(sys.LoadProgram(ChainProgram(40, /*close_cycle=*/false)).ok());
+  OptimizerOptions options;
+  options.limits.budget_bytes = 512ull * 1024 * 1024;
+  sys.set_options(options);
+  auto answer = sys.Query("tc(n0, Y)");
+  ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+  EXPECT_EQ(answer->answers.size(), 40u);
+  EXPECT_GT(answer->peak_bytes, 0u);
+  EXPECT_GT(answer->tuples_examined, 0u);
+  EXPECT_GT(answer->fixpoint_rounds, 0u);
+  EXPECT_GT(answer->cancel_checks, 0u);
+}
+
+TEST(QueryLifecycleTest, ExternalCancelAbortsTheQuery) {
+  LdlSystem sys;
+  ASSERT_TRUE(sys.LoadProgram(ChainProgram(50, /*close_cycle=*/false)).ok());
+  CancellationToken session;
+  session.RequestCancel();  // cancelled before the query starts
+  OptimizerOptions options;
+  options.trace.cancel = &session;
+  sys.set_options(options);
+  auto answer = sys.Query("tc(X, Y)");
+  ASSERT_FALSE(answer.ok());
+  EXPECT_EQ(answer.status().code(), StatusCode::kCancelled);
+}
+
+TEST(QueryLifecycleTest, OptimizerSearchHonorsCancellation) {
+  LdlSystem sys;
+  ASSERT_TRUE(sys.LoadProgram(ChainProgram(10, /*close_cycle=*/false)).ok());
+  CancellationToken session;
+  session.RequestCancel();
+  OptimizerOptions options;
+  options.trace.cancel = &session;
+  sys.set_options(options);
+  auto plan = sys.Plan("tc(X, Y)");  // optimization only, no execution
+  ASSERT_FALSE(plan.ok());
+  EXPECT_EQ(plan.status().code(), StatusCode::kCancelled);
+}
+
+TEST(QueryLifecycleTest, SessionAccountantSeesEveryQuery) {
+  LdlSystem sys;
+  ASSERT_TRUE(sys.LoadProgram(ChainProgram(30, /*close_cycle=*/false)).ok());
+  ResourceAccountant session;
+  OptimizerOptions options;
+  options.trace.accountant = &session;
+  options.limits.budget_bytes = 1ull << 40;  // engage metering, no real cap
+  sys.set_options(options);
+  ASSERT_TRUE(sys.Query("tc(n0, Y)").ok());
+  ASSERT_TRUE(sys.Query("tc(n1, Y)").ok());
+  // Both per-query meters rolled up into the session accountant.
+  EXPECT_GT(session.tuples_examined(), 0u);
+  EXPECT_GT(session.peak_bytes(), 0u);
+  // All per-query storage was released when the queries finished.
+  EXPECT_EQ(session.current_bytes(), 0u);
+}
+
+// The cancellation-latency bound: inside the innermost join the evaluator
+// may run at most kCheckIntervalTuples tuples between checks, so a
+// tuple-budget overshoot is bounded by one interval (per concurrent rule
+// evaluation; this engine is single-threaded).
+TEST(QueryLifecycleTest, TupleBudgetOvershootIsBoundedByCheckInterval) {
+  LdlSystem sys;
+  ASSERT_TRUE(sys.LoadProgram(ChainProgram(200, /*close_cycle=*/false)).ok());
+  QueryLog log;
+  sys.set_query_log(&log);
+  OptimizerOptions options;
+  const uint64_t kBudget = 4096;
+  options.limits.budget_tuples = kBudget;
+  sys.set_options(options);
+  auto answer = sys.Query("tc(X, Y)");
+  ASSERT_FALSE(answer.ok());
+  EXPECT_EQ(answer.status().code(), StatusCode::kResourceExhausted);
+  ASSERT_EQ(log.size(), 1u);
+  const QueryLogRecord rec = log.snapshot()[0];
+  EXPECT_EQ(rec.outcome, "resource_exhausted");
+  EXPECT_GT(rec.tuples_examined, kBudget);
+  EXPECT_LE(rec.tuples_examined,
+            kBudget + 2 * CancellationToken::kCheckIntervalTuples)
+      << "cancellation latency exceeded the documented bound";
+}
+
+// The check cadence itself: an externally supplied token (no limits, no
+// log — the pass-through path) must still be polled about once per
+// kCheckIntervalTuples of join work.
+TEST(QueryLifecycleTest, CancellationChecksTrackExaminedTuples) {
+  LdlSystem sys;
+  ASSERT_TRUE(sys.LoadProgram(ChainProgram(120, /*close_cycle=*/false)).ok());
+  CancellationToken session;
+  OptimizerOptions options;
+  options.trace.cancel = &session;
+  sys.set_options(options);
+  auto answer = sys.Query("tc(X, Y)");
+  ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+  const uint64_t examined = answer->exec_stats.counters.tuples_examined;
+  ASSERT_GT(examined, CancellationToken::kCheckIntervalTuples);
+  EXPECT_GE(session.checks(),
+            examined / CancellationToken::kCheckIntervalTuples)
+      << "examined " << examined << " tuples with only " << session.checks()
+      << " checks";
+}
+
+// Difftest-generated recursion under a small budget and a 10 ms deadline:
+// whatever the generator draws, the query must terminate promptly with
+// either an answer or one of the typed lifecycle statuses — never an
+// untyped error, never a hang (the tier-1 test timeout is the backstop).
+TEST(QueryLifecycleTest, GeneratedProgramsTerminateWithTypedStatus) {
+  for (uint64_t seed = 1; seed <= 12; ++seed) {
+    Rng rng(seed);
+    testing::ProgramGenOptions gen;
+    gen.max_facts = 40;
+    gen.domain = 32;
+    testing::GeneratedProgram prog = testing::GenerateProgram(&rng, gen);
+    LdlSystem sys;
+    ASSERT_TRUE(sys.LoadProgram(prog.ToLdl()).ok()) << prog.summary;
+    OptimizerOptions options;
+    options.limits.budget_bytes = 1 << 20;  // 1 MB
+    options.limits.deadline_ms = 10;
+    sys.set_options(options);
+    auto answer = sys.Query(prog.query);
+    if (!answer.ok()) {
+      const StatusCode code = answer.status().code();
+      EXPECT_TRUE(code == StatusCode::kResourceExhausted ||
+                  code == StatusCode::kDeadlineExceeded ||
+                  code == StatusCode::kUnsafe)
+          << "seed " << seed << " (" << prog.summary
+          << "): " << answer.status().ToString();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ldl

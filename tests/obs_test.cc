@@ -405,5 +405,55 @@ TEST(SearchTracerTest, DisabledPathDoesNotAllocate) {
   EXPECT_TRUE(tracer.memo().empty());
 }
 
+TEST(TracerTest, EventBufferIsCappedAndCountsDrops) {
+  Tracer tracer;
+  tracer.set_max_events(4);
+  for (int i = 0; i < 10; ++i) {
+    Span span(&tracer, "work");
+  }
+  // The first max_events spans are kept (the head of the trace is what
+  // explains a runaway query); the rest are counted, not stored.
+  EXPECT_EQ(tracer.event_count(), 4u);
+  EXPECT_EQ(tracer.dropped_events(), 6u);
+
+  std::ostringstream os;
+  tracer.WriteChromeTrace(os);
+  EXPECT_NE(os.str().find("\"droppedEvents\":6"), std::string::npos);
+
+  tracer.Clear();
+  EXPECT_EQ(tracer.event_count(), 0u);
+  EXPECT_EQ(tracer.dropped_events(), 0u);
+}
+
+TEST(TracerTest, DefaultCapIsLarge) {
+  Tracer tracer;
+  EXPECT_EQ(tracer.max_events(), 64u * 1024u);
+  EXPECT_EQ(tracer.dropped_events(), 0u);
+}
+
+TEST(MetricsTest, HistogramConcurrentRecordLosesNothing) {
+  Histogram h;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 1; i <= kPerThread; ++i) {
+        h.Record(static_cast<double>(t * kPerThread + i));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  // Lock-free CAS recording: every sample lands exactly once in count, sum,
+  // min, and max, regardless of interleaving.
+  const uint64_t n = kThreads * kPerThread;
+  EXPECT_EQ(h.count(), n);
+  EXPECT_DOUBLE_EQ(h.sum(), static_cast<double>(n) * (n + 1) / 2);
+  EXPECT_DOUBLE_EQ(h.min(), 1);
+  EXPECT_DOUBLE_EQ(h.max(), static_cast<double>(n));
+  EXPECT_GT(h.percentile(0.5), 0);
+}
+
 }  // namespace
 }  // namespace ldl

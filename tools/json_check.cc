@@ -1,12 +1,16 @@
 // json_check — validates that each input file is well-formed JSON.
 //
-// Usage: json_check file.json [file.json ...]
+// Usage: json_check [--jsonl] file.json [file.json ...]
 //
 // A minimal recursive-descent checker (RFC 8259 grammar: objects, arrays,
 // strings with escapes, numbers, true/false/null). It validates shape only —
 // no values are materialized — so CI can assert that the JSON the
 // observability tools emit (Chrome traces, metrics dumps, bench results)
 // will load anywhere, without pulling in a JSON library.
+//
+// With --jsonl, each input is JSON Lines (one JSON value per non-empty
+// line — the query-log format); every line is validated independently and
+// errors carry the line number.
 //
 // Exit status: 0 all files valid, 1 any invalid/unreadable, 2 usage error.
 
@@ -212,16 +216,46 @@ class JsonChecker {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::cerr << "usage: json_check file.json [file.json ...]\n";
+  bool jsonl = false;
+  int first_file = 1;
+  if (argc > 1 && std::string(argv[1]) == "--jsonl") {
+    jsonl = true;
+    first_file = 2;
+  }
+  if (first_file >= argc) {
+    std::cerr << "usage: json_check [--jsonl] file.json [file.json ...]\n";
     return 2;
   }
   int failures = 0;
-  for (int i = 1; i < argc; ++i) {
+  for (int i = first_file; i < argc; ++i) {
     std::ifstream in(argv[i]);
     if (!in) {
       std::cerr << argv[i] << ": cannot read file\n";
       ++failures;
+      continue;
+    }
+    if (jsonl) {
+      std::string line;
+      size_t lineno = 0;
+      size_t values = 0;
+      bool bad = false;
+      while (std::getline(in, line)) {
+        ++lineno;
+        if (line.empty()) continue;
+        std::string error;
+        if (!JsonChecker(line).Check(&error)) {
+          std::cerr << argv[i] << ": line " << lineno << ": invalid JSON: "
+                    << error << "\n";
+          bad = true;
+        } else {
+          ++values;
+        }
+      }
+      if (bad) {
+        ++failures;
+      } else {
+        std::cout << argv[i] << ": ok (" << values << " values)\n";
+      }
       continue;
     }
     std::ostringstream buffer;

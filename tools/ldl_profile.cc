@@ -33,6 +33,13 @@
 //                        pruning (statically unreachable (predicate,
 //                        adornment) pairs skip memoization; they show as
 //                        pruned-unreachable in EXPLAIN OPTIMIZE).
+//   --budget-bytes N     per-query cap on peak derived-storage bytes; a
+//                        query over budget aborts with ResourceExhausted.
+//   --budget-tuples N    per-query cap on tuples examined.
+//   --deadline-ms X      per-query wall-clock deadline (DeadlineExceeded).
+//   --query-log FILE     execute each query through the instrumented
+//                        lifecycle path and append one structured JSONL
+//                        record per query (replayable with ldl_replay).
 //
 // Exit status: 0 success, 1 any query failed (parse, optimize, unsafe plan,
 // or execution error — details on stderr), 2 usage error.
@@ -57,6 +64,10 @@ struct CliOptions {
   bool print_metrics = false;
   bool explain_optimize = false;
   bool prune = false;
+  uint64_t budget_bytes = 0;
+  uint64_t budget_tuples = 0;
+  double deadline_ms = 0;
+  std::string query_log;
   std::string trace_json;
   std::string metrics_json;
   std::string calibration_json;
@@ -72,7 +83,9 @@ int Usage() {
                "[--query GOAL]... "
                "[--trace-json FILE] [--metrics-json FILE] [--metrics] "
                "[--calibration-json FILE] [--search-json FILE] "
-               "[--fixpoint-json FILE] [--dot FILE] [--prune] file.ldl | -\n";
+               "[--fixpoint-json FILE] [--dot FILE] [--prune] "
+               "[--budget-bytes N] [--budget-tuples N] [--deadline-ms X] "
+               "[--query-log FILE] file.ldl | -\n";
   return 2;
 }
 
@@ -119,6 +132,14 @@ int main(int argc, char** argv) {
       cli.dot_file = argv[++i];
     } else if (arg == "--prune") {
       cli.prune = true;
+    } else if (arg == "--budget-bytes" && i + 1 < argc) {
+      cli.budget_bytes = std::stoull(argv[++i]);
+    } else if (arg == "--budget-tuples" && i + 1 < argc) {
+      cli.budget_tuples = std::stoull(argv[++i]);
+    } else if (arg == "--deadline-ms" && i + 1 < argc) {
+      cli.deadline_ms = std::stod(argv[++i]);
+    } else if (arg == "--query-log" && i + 1 < argc) {
+      cli.query_log = argv[++i];
     } else if (arg == "--help" || arg == "-h") {
       Usage();
       return 0;
@@ -160,8 +181,22 @@ int main(int argc, char** argv) {
     options.analyze_reachability = true;
     options.eliminate_dead_rules = true;
   }
+  options.limits.budget_bytes = cli.budget_bytes;
+  options.limits.budget_tuples = cli.budget_tuples;
+  options.limits.deadline_ms = cli.deadline_ms;
 
   ldl::LdlSystem sys(options);
+  ldl::QueryLog query_log;
+  if (!cli.query_log.empty()) {
+    ldl::Status opened = query_log.Open(cli.query_log);
+    if (!opened.ok()) {
+      std::cerr << "ldl_profile: " << cli.query_log << ": "
+                << opened.ToString() << "\n";
+      return 1;
+    }
+    query_log.set_default_program(cli.file);
+    sys.set_query_log(&query_log);
+  }
   ldl::Status load = sys.LoadProgram(text);
   if (!load.ok()) {
     std::cerr << "ldl_profile: " << cli.file << ": " << load.ToString()
@@ -185,9 +220,44 @@ int main(int argc, char** argv) {
   std::vector<std::string> search_entries;  // one JSON object per goal
   std::vector<std::string> fixpoint_entries;
   std::string dot;
+  const bool execute_queries = !cli.fixpoint_json.empty() ||
+                               !cli.query_log.empty() ||
+                               options.limits.any();
   for (const std::string& goal : goals) {
     std::cout << "== " << (cli.analyze ? "EXPLAIN ANALYZE " : "EXPLAIN ")
               << goal << "? ==\n";
+    // Execute first when asked to: LdlSystem::Query is the instrumented
+    // lifecycle path — it enforces the limits, appends the query-log
+    // record (on success and on typed failure), and carries the
+    // per-round fixpoint telemetry.
+    if (execute_queries) {
+      auto answer = sys.Query(goal);
+      if (!answer.ok()) {
+        std::cerr << "ldl_profile: " << goal << ": "
+                  << answer.status().ToString() << "\n";
+        failed = true;
+      } else {
+        if (!cli.query_log.empty()) {
+          std::cout << "lifecycle: " << answer->answers.size()
+                    << " answers, peak " << answer->peak_bytes
+                    << " bytes, " << answer->tuples_examined
+                    << " tuples examined, " << answer->fixpoint_rounds
+                    << " rounds, " << answer->cancel_checks
+                    << " cancel checks\n";
+        }
+        if (!cli.fixpoint_json.empty()) {
+          std::ostringstream entry;
+          entry << "{\"goal\": \"" << ldl::JsonEscape(goal)
+                << "\", \"method\": \""
+                << ldl::RecursionMethodToString(answer->plan.top_method)
+                << "\", \"iterations\": "
+                << answer->exec_stats.iterations << ", \"rounds\": ";
+          answer->exec_stats.WriteIterationsJson(entry);
+          entry << "}";
+          fixpoint_entries.push_back(entry.str());
+        }
+      }
+    }
     // The plan summary (and, via Optimize, the optimizer.* metrics). One
     // shared tracer, cleared per goal; the trace is captured right after
     // this call, before --analyze's regret re-runs pollute it.
@@ -212,24 +282,6 @@ int main(int argc, char** argv) {
       std::ostringstream d;
       search_tracer.WriteDot(d);
       dot = d.str();
-    }
-    if (!cli.fixpoint_json.empty()) {
-      auto answer = sys.Query(goal);
-      if (!answer.ok()) {
-        std::cerr << "ldl_profile: " << goal << ": "
-                  << answer.status().ToString() << "\n";
-        failed = true;
-      } else {
-        std::ostringstream entry;
-        entry << "{\"goal\": \"" << ldl::JsonEscape(goal)
-              << "\", \"method\": \""
-              << ldl::RecursionMethodToString(answer->plan.top_method)
-              << "\", \"iterations\": "
-              << answer->exec_stats.iterations << ", \"rounds\": ";
-        answer->exec_stats.WriteIterationsJson(entry);
-        entry << "}";
-        fixpoint_entries.push_back(entry.str());
-      }
     }
     if (cli.analyze) {
       auto analyzed = sys.AnalyzeCalibrated(goal);

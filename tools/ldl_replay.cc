@@ -1,0 +1,236 @@
+// ldl_replay — re-execute a structured query log and diff the outcomes.
+//
+// Usage: ldl_replay [options] log.jsonl
+//
+//   --check           exit 1 if any record drifted (or could not be
+//                     replayed); default is report-only.
+//   --program FILE    replay against FILE, overriding the program path
+//                     recorded in each record (also the only way to replay
+//                     records whose program field is empty).
+//   --verbose         print a line for every record, not just drifts.
+//
+// For every record the replayer loads the record's program (programs and
+// prune settings are cached across records), re-runs the query through the
+// same instrumented lifecycle path that wrote the log, and compares the
+// decisions and results that must be reproducible:
+//
+//   - outcome        ("ok" / typed failure),
+//   - plan fingerprint (the optimizer made the same decisions),
+//   - answer count and order-independent answer fingerprint.
+//
+// Byte budgets are re-applied on replay (peak-bytes accounting is
+// deterministic for a deterministic plan); wall-clock deadlines are NOT —
+// a slower or faster machine would flip the outcome. Records that failed
+// with DeadlineExceeded or Cancelled are therefore skipped (reported, and
+// never counted as drift). Resource-profile deviations (peak bytes, tuples
+// examined) are reported as informational ratios, not drift: they shift
+// legitimately when storage layout changes.
+//
+// Exit status: 0 success, 1 drift or replay error (with --check), 2 usage.
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "base/strings.h"
+#include "ldl/ldl.h"
+#include "obs/query_log.h"
+
+namespace {
+
+struct CliOptions {
+  bool check = false;
+  bool verbose = false;
+  std::string program_override;
+  std::string log_file;
+};
+
+int Usage() {
+  std::cerr << "usage: ldl_replay [--check] [--program FILE] [--verbose] "
+               "log.jsonl\n";
+  return 2;
+}
+
+// One LdlSystem per (program path, prune flag): replaying must see the same
+// rule base and the same pre-optimization passes the original run used.
+struct SystemCache {
+  std::map<std::pair<std::string, bool>, std::unique_ptr<ldl::LdlSystem>>
+      systems;
+
+  // Returns nullptr and sets *error on load failure.
+  ldl::LdlSystem* Get(const std::string& path, bool prune,
+                      const ldl::QueryLimits& limits, std::string* error) {
+    auto key = std::make_pair(path, prune);
+    auto it = systems.find(key);
+    if (it == systems.end()) {
+      std::ifstream in(path);
+      if (!in) {
+        *error = "cannot read program " + path;
+        return nullptr;
+      }
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      ldl::OptimizerOptions options;
+      if (prune) {
+        options.analyze_reachability = true;
+        options.eliminate_dead_rules = true;
+      }
+      auto sys = std::make_unique<ldl::LdlSystem>(options);
+      ldl::Status load = sys->LoadProgram(buffer.str());
+      if (!load.ok()) {
+        *error = path + ": " + load.ToString();
+        return nullptr;
+      }
+      it = systems.emplace(key, std::move(sys)).first;
+    }
+    // Limits are per-record; refresh them on the cached system.
+    ldl::OptimizerOptions options = it->second->options();
+    options.limits = limits;
+    it->second->set_options(options);
+    return it->second.get();
+  }
+};
+
+std::string Ratio(uint64_t now, uint64_t then) {
+  if (then == 0) return now == 0 ? "1.00x" : "new";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2fx",
+                static_cast<double>(now) / static_cast<double>(then));
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions cli;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--check") {
+      cli.check = true;
+    } else if (arg == "--verbose") {
+      cli.verbose = true;
+    } else if (arg == "--program" && i + 1 < argc) {
+      cli.program_override = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      Usage();
+      return 0;
+    } else if (arg.size() > 1 && arg[0] == '-') {
+      std::cerr << "ldl_replay: unknown option " << arg << "\n";
+      return Usage();
+    } else if (cli.log_file.empty()) {
+      cli.log_file = arg;
+    } else {
+      std::cerr << "ldl_replay: more than one log file\n";
+      return Usage();
+    }
+  }
+  if (cli.log_file.empty()) return Usage();
+
+  auto records = ldl::QueryLog::ReadFile(cli.log_file);
+  if (!records.ok()) {
+    std::cerr << "ldl_replay: " << records.status().ToString() << "\n";
+    return 1;
+  }
+
+  SystemCache cache;
+  size_t matched = 0;
+  size_t drifted = 0;
+  size_t skipped = 0;
+  size_t errors = 0;
+  for (size_t i = 0; i < records->size(); ++i) {
+    const ldl::QueryLogRecord& rec = (*records)[i];
+    const std::string tag =
+        ldl::StrCat(cli.log_file, ":", i + 1, ": ", rec.query);
+
+    if (rec.outcome == "deadline_exceeded" || rec.outcome == "cancelled") {
+      // Wall-clock outcomes are machine-dependent; not reproducible.
+      ++skipped;
+      if (cli.verbose) {
+        std::cout << tag << ": SKIP (" << rec.outcome
+                  << " depends on wall-clock)\n";
+      }
+      continue;
+    }
+
+    const std::string program = cli.program_override.empty()
+                                    ? rec.program
+                                    : cli.program_override;
+    if (program.empty()) {
+      std::cout << tag << ": ERROR no program recorded "
+                   "(pass --program FILE)\n";
+      ++errors;
+      continue;
+    }
+    ldl::QueryLimits limits;
+    limits.budget_bytes = rec.budget_bytes;
+    std::string error;
+    ldl::LdlSystem* sys = cache.Get(program, rec.prune, limits, &error);
+    if (sys == nullptr) {
+      std::cout << tag << ": ERROR " << error << "\n";
+      ++errors;
+      continue;
+    }
+
+    // Re-run through the same lifecycle path that wrote the record, into a
+    // throwaway log, so the replayed record is built by the same code.
+    ldl::QueryLog replay_log;
+    replay_log.set_default_program(program);
+    sys->set_query_log(&replay_log);
+    auto answer = sys->Query(rec.query);
+    sys->set_query_log(nullptr);
+    (void)answer;  // outcome is read from the replayed record
+    if (replay_log.size() != 1) {
+      std::cout << tag << ": ERROR replay produced no record ("
+                << (answer.ok() ? "ok" : answer.status().ToString()) << ")\n";
+      ++errors;
+      continue;
+    }
+    const ldl::QueryLogRecord now = replay_log.snapshot()[0];
+
+    std::vector<std::string> drift;
+    if (now.outcome != rec.outcome) {
+      drift.push_back(ldl::StrCat("outcome ", rec.outcome, " -> ",
+                                  now.outcome));
+    }
+    if (now.plan_fingerprint != rec.plan_fingerprint) {
+      drift.push_back(ldl::StrCat("plan ", rec.plan_fingerprint, " -> ",
+                                  now.plan_fingerprint));
+    }
+    if (now.answers != rec.answers) {
+      drift.push_back(ldl::StrCat("answers ", rec.answers, " -> ",
+                                  now.answers));
+    }
+    if (now.answer_fingerprint != rec.answer_fingerprint) {
+      drift.push_back(ldl::StrCat("answer fingerprint ",
+                                  rec.answer_fingerprint, " -> ",
+                                  now.answer_fingerprint));
+    }
+
+    if (!drift.empty()) {
+      ++drifted;
+      std::cout << tag << ": DRIFT";
+      for (const std::string& d : drift) std::cout << " [" << d << "]";
+      std::cout << "\n";
+    } else {
+      ++matched;
+      if (cli.verbose) {
+        std::cout << tag << ": OK (peak bytes " << Ratio(now.peak_bytes,
+                                                         rec.peak_bytes)
+                  << ", tuples examined "
+                  << Ratio(now.tuples_examined, rec.tuples_examined)
+                  << ")\n";
+      }
+    }
+  }
+
+  std::cout << "ldl_replay: " << records->size() << " records, " << matched
+            << " matched, " << drifted << " drifted, " << skipped
+            << " skipped, " << errors << " errors\n";
+  if (cli.check && (drifted != 0 || errors != 0)) return 1;
+  return 0;
+}
