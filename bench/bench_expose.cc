@@ -1,0 +1,229 @@
+// Experiment E16 — cost of the serving-grade telemetry layer:
+//
+// A production ldlopt process runs with the time-series sampler ticking and
+// a stats endpoint being scraped; neither may tax the query path. This
+// bench pins the contract:
+//
+//  - sampler overhead: total wall time of a fixed query workload with the
+//    background sampler off vs ticking at an aggressive 5 ms period (far
+//    faster than the 200 ms-1 s production cadence) stays within a few
+//    percent — the sampler only reads relaxed atomics and briefly holds
+//    its own ring lock, never an engine lock (target < 5%);
+//  - scrape cost: rendering the full Prometheus exposition of a live
+//    registry is microseconds — cheap enough that a per-second scrape is
+//    invisible (reported as ns/scrape, informational);
+//  - sampling cost: one SampleOnce pass over the same registry, the work
+//    the sampler does per tick.
+//
+// The workload tables are exported as BENCH_expose.json and gated by
+// bench_diff against bench/baselines/BENCH_expose.json ("ms" columns only;
+// the ns tables are informational).
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "base/strings.h"
+#include "bench_util.h"
+#include "ldl/ldl.h"
+#include "obs/metrics.h"
+#include "obs/prometheus.h"
+#include "obs/timeseries.h"
+
+namespace ldl {
+namespace {
+
+using bench::Fmt;
+using bench::Stopwatch;
+using bench::Table;
+
+std::string ChainProgram(int n) {
+  std::string text =
+      "tc(X, Y) <- edge(X, Y).\n"
+      "tc(X, Y) <- edge(X, Z), tc(Z, Y).\n";
+  for (int i = 0; i < n; ++i) {
+    text += StrCat("edge(n", i, ", n", i + 1, ").\n");
+  }
+  return text;
+}
+
+/// Total wall ms for `queries` bound-closure queries against one system;
+/// `sampler_period_ms` == 0 leaves the registry unsampled, otherwise a
+/// background sampler ticks at that period throughout.
+double RunWorkloadOnceMs(int chain, int queries, int sampler_period_ms) {
+  MetricsRegistry metrics;
+  OptimizerOptions options;
+  options.trace.metrics = &metrics;
+  LdlSystem sys(options);
+  Status st = sys.LoadProgram(ChainProgram(chain));
+  if (!st.ok()) {
+    std::fprintf(stderr, "bench_expose: %s\n", st.ToString().c_str());
+    std::abort();
+  }
+  TimeSeriesOptions ts;
+  ts.metrics = &metrics;
+  ts.period = std::chrono::milliseconds(
+      sampler_period_ms == 0 ? 1000 : sampler_period_ms);
+  TimeSeriesSampler sampler(ts);
+  if (sampler_period_ms > 0) sampler.Start();
+  Stopwatch watch;
+  for (int q = 0; q < queries; ++q) {
+    auto answer = sys.Query("tc(n0, Y)");
+    benchmark::DoNotOptimize(answer);
+    if (!answer.ok()) {
+      std::fprintf(stderr, "bench_expose: %s\n",
+                   answer.status().ToString().c_str());
+      std::abort();
+    }
+  }
+  const double ms = watch.ElapsedMs();
+  sampler.Stop();
+  return ms;
+}
+
+/// A registry shaped like a live process after a workload: the engine and
+/// optimizer counter families, gauges, and a couple of histograms.
+void PopulateRegistry(MetricsRegistry* metrics) {
+  MetricsRegistry& m = *metrics;
+  OptimizerOptions options;
+  options.trace.metrics = &m;
+  LdlSystem sys(options);
+  if (!sys.LoadProgram(ChainProgram(40)).ok()) std::abort();
+  for (int i = 0; i < 3; ++i) {
+    if (!sys.Query("tc(n0, Y)").ok()) std::abort();
+  }
+  Histogram* hist = m.histogram("fixpoint.delta_size");
+  for (int i = 1; i <= 1000; ++i) hist->Record(static_cast<double>(i));
+}
+
+double MeasureRenderNs(const MetricsRegistry& metrics, size_t iterations) {
+  Stopwatch watch;
+  size_t bytes = 0;
+  for (size_t i = 0; i < iterations; ++i) {
+    const std::string out = RenderPrometheus(metrics);
+    bytes += out.size();
+    benchmark::DoNotOptimize(bytes);
+  }
+  return watch.ElapsedMs() * 1e6 / static_cast<double>(iterations);
+}
+
+double MeasureSampleNs(const MetricsRegistry& metrics, size_t iterations) {
+  TimeSeriesOptions ts;
+  ts.metrics = const_cast<MetricsRegistry*>(&metrics);
+  TimeSeriesSampler sampler(ts);
+  Stopwatch watch;
+  for (size_t i = 0; i < iterations; ++i) sampler.SampleOnce();
+  return watch.ElapsedMs() * 1e6 / static_cast<double>(iterations);
+}
+
+}  // namespace
+
+void PrintExperiment() {
+  bench::Banner("E16", "telemetry exposition overhead: background sampler "
+                       "tax on a query workload, ns per /metrics render and "
+                       "per sampling pass");
+
+  Table overhead({"workload", "sampler", "workload ms", "overhead %"});
+  {
+    const int chain = 120;
+    const int queries = 60;
+    // Paired design: each round brackets one sampled run between two
+    // unsampled runs and reads the sampler tax against the bracket average,
+    // so the slow clock drift a single-core box shows (several percent
+    // between identical sequential blocks — larger than the sampler's real
+    // tax) cancels. Medians across rounds reject the odd descheduled round.
+    constexpr size_t kRounds = 5;
+    std::vector<double> offs, ons, pcts, noises;
+    RunWorkloadOnceMs(chain, queries, 0);  // warm-up, discarded
+    for (size_t r = 0; r < kRounds; ++r) {
+      const double off_a = RunWorkloadOnceMs(chain, queries, 0);
+      const double on = RunWorkloadOnceMs(chain, queries, 5);
+      const double off_b = RunWorkloadOnceMs(chain, queries, 0);
+      const double bracket = (off_a + off_b) / 2.0;
+      offs.push_back(bracket);
+      ons.push_back(on);
+      pcts.push_back((on / bracket - 1.0) * 100.0);
+      noises.push_back((off_b / off_a - 1.0) * 100.0);
+    }
+    auto median = [](std::vector<double> v) {
+      std::sort(v.begin(), v.end());
+      return v[v.size() / 2];
+    };
+    const std::string label =
+        StrCat("tc chain ", chain, " x", queries, " bound");
+    overhead.AddRow({label + " / off", "off", Fmt(median(offs), "%.3f"),
+                     "-"});
+    overhead.AddRow({label + " / 5ms", "5 ms", Fmt(median(ons), "%.3f"),
+                     Fmt(median(pcts), "%.1f")});
+    overhead.AddRow({label + " / off (A/A floor)", "off", "-",
+                     Fmt(median(noises), "%.1f")});
+  }
+  overhead.Print();
+
+  Table scrape({"operation", "ns/op", "per-second budget %"});
+  {
+    MetricsRegistry metrics;
+    PopulateRegistry(&metrics);
+    const double render_ns = MeasureRenderNs(metrics, 2000);
+    const double sample_ns = MeasureSampleNs(metrics, 2000);
+    // Share of one second consumed by one op per second — the production
+    // scrape/sample cadence.
+    scrape.AddRow({"RenderPrometheus (full registry)", Fmt(render_ns, "%.0f"),
+                   Fmt(render_ns / 1e9 * 100.0, "%.4f")});
+    scrape.AddRow({"TimeSeriesSampler::SampleOnce", Fmt(sample_ns, "%.0f"),
+                   Fmt(sample_ns / 1e9 * 100.0, "%.4f")});
+  }
+  scrape.Print();
+
+  std::printf(
+      "Expected shape: the 5 ms-sampled row sits within a few percent of\n"
+      "the unsampled row (< 5%% target net of the A/A floor) even though\n"
+      "the bench samples 40-200x faster than production would; the sampler\n"
+      "reads relaxed atomics and never takes an engine lock. On a\n"
+      "single-core host the off-vs-off A/A row shows the scheduling noise\n"
+      "floor — read the on-vs-off delta against it. Render and sample cost\n"
+      "microseconds per op, a ~0.001%% per-second budget at scrape\n"
+      "cadence.\n\n");
+}
+
+namespace {
+
+void BM_RenderPrometheus(benchmark::State& state) {
+  static MetricsRegistry* metrics = [] {
+    auto* m = new MetricsRegistry();
+    PopulateRegistry(m);
+    return m;
+  }();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RenderPrometheus(*metrics));
+  }
+}
+BENCHMARK(BM_RenderPrometheus);
+
+void BM_SampleOnce(benchmark::State& state) {
+  static MetricsRegistry* metrics = [] {
+    auto* m = new MetricsRegistry();
+    PopulateRegistry(m);
+    return m;
+  }();
+  TimeSeriesOptions ts;
+  ts.metrics = metrics;
+  TimeSeriesSampler sampler(ts);
+  for (auto _ : state) {
+    sampler.SampleOnce();
+  }
+}
+BENCHMARK(BM_SampleOnce);
+
+}  // namespace
+}  // namespace ldl
+
+int main(int argc, char** argv) {
+  ldl::PrintExperiment();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  ldl::bench::FlushJson("expose");
+  return 0;
+}

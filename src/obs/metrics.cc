@@ -31,7 +31,34 @@ void AtomicMaxDouble(std::atomic<double>* a, double v) {
   }
 }
 
+bool IsCanonicalMetricChar(char c, bool first) {
+  if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+      c == ':' || c == '.') {
+    return true;
+  }
+  return !first && c >= '0' && c <= '9';
+}
+
 }  // namespace
+
+bool IsCanonicalMetricName(std::string_view name) {
+  if (name.empty()) return false;
+  for (size_t i = 0; i < name.size(); ++i) {
+    if (!IsCanonicalMetricChar(name[i], i == 0)) return false;
+  }
+  return true;
+}
+
+std::string SanitizeMetricName(std::string_view name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  if (!name.empty() && name[0] >= '0' && name[0] <= '9') out.push_back('_');
+  for (char c : name) {
+    out.push_back(IsCanonicalMetricChar(c, /*first=*/false) ? c : '_');
+  }
+  if (out.empty()) out.push_back('_');
+  return out;
+}
 
 void Histogram::Record(double v) {
   count_.fetch_add(1, std::memory_order_relaxed);
@@ -72,7 +99,22 @@ double Histogram::percentile(double p) const {
   return hi_seen;
 }
 
+namespace {
+
+/// Hot-path friendly sanitation: canonical names (the overwhelmingly common
+/// case — every in-tree site) pass through without allocating; anything
+/// else is rewritten into `storage` and viewed from there.
+std::string_view CanonicalName(std::string_view name, std::string* storage) {
+  if (IsCanonicalMetricName(name)) return name;
+  *storage = SanitizeMetricName(name);
+  return *storage;
+}
+
+}  // namespace
+
 Counter* MetricsRegistry::counter(std::string_view name) {
+  std::string sanitized;
+  name = CanonicalName(name, &sanitized);
   std::lock_guard<std::mutex> lock(mu_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
@@ -83,6 +125,8 @@ Counter* MetricsRegistry::counter(std::string_view name) {
 }
 
 Gauge* MetricsRegistry::gauge(std::string_view name) {
+  std::string sanitized;
+  name = CanonicalName(name, &sanitized);
   std::lock_guard<std::mutex> lock(mu_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
@@ -92,6 +136,8 @@ Gauge* MetricsRegistry::gauge(std::string_view name) {
 }
 
 Histogram* MetricsRegistry::histogram(std::string_view name) {
+  std::string sanitized;
+  name = CanonicalName(name, &sanitized);
   std::lock_guard<std::mutex> lock(mu_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
@@ -102,21 +148,54 @@ Histogram* MetricsRegistry::histogram(std::string_view name) {
 }
 
 uint64_t MetricsRegistry::counter_value(std::string_view name) const {
+  std::string sanitized;
+  name = CanonicalName(name, &sanitized);
   std::lock_guard<std::mutex> lock(mu_);
   auto it = counters_.find(name);
   return it == counters_.end() ? 0 : it->second->value();
 }
 
 double MetricsRegistry::gauge_value(std::string_view name) const {
+  std::string sanitized;
+  name = CanonicalName(name, &sanitized);
   std::lock_guard<std::mutex> lock(mu_);
   auto it = gauges_.find(name);
   return it == gauges_.end() ? 0 : it->second->value();
 }
 
 const Histogram* MetricsRegistry::find_histogram(std::string_view name) const {
+  std::string sanitized;
+  name = CanonicalName(name, &sanitized);
   std::lock_guard<std::mutex> lock(mu_);
   auto it = histograms_.find(name);
   return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::pair<std::string, uint64_t>> MetricsRegistry::CounterValues()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, uint64_t>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) out.emplace_back(name, c->value());
+  return out;
+}
+
+std::vector<std::pair<std::string, double>> MetricsRegistry::GaugeValues()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) out.emplace_back(name, g->value());
+  return out;
+}
+
+std::vector<std::pair<std::string, const Histogram*>>
+MetricsRegistry::HistogramEntries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, const Histogram*>> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) out.emplace_back(name, h.get());
+  return out;
 }
 
 namespace {

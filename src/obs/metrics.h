@@ -10,8 +10,23 @@
 #include <ostream>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 namespace ldl {
+
+/// True when `name` is already in the registry's canonical form:
+/// `[a-zA-Z_:.][a-zA-Z0-9_:.]*` — the Prometheus identifier grammar plus
+/// '.', the separator this codebase uses for metric namespaces
+/// ("engine.tuples_examined"). The Prometheus encoder maps '.' to '_' at
+/// exposition time.
+bool IsCanonicalMetricName(std::string_view name);
+
+/// Canonicalizes an arbitrary string into a valid metric name: every
+/// character outside the canonical set becomes '_', a leading digit gets a
+/// '_' prefix, and an empty name becomes "_". Idempotent; the identity on
+/// names that are already canonical.
+std::string SanitizeMetricName(std::string_view name);
 
 /// Monotonically increasing count (tuples examined, memo hits, rounds...).
 class Counter {
@@ -85,6 +100,12 @@ class Histogram {
 /// instruments themselves are lock-free (counters/gauges) so hot paths can
 /// cache the returned pointer, which stays valid for the registry's
 /// lifetime.
+///
+/// Names are sanitized on every create/lookup path (SanitizeMetricName), so
+/// an arbitrary caller-supplied string can never produce a metric that the
+/// JSON dump or the Prometheus exposition would misrender: "delta size"
+/// and "delta_size" are the same instrument, and every rendered surface
+/// shows the canonical spelling.
 class MetricsRegistry {
  public:
   Counter* counter(std::string_view name);
@@ -97,6 +118,14 @@ class MetricsRegistry {
   double gauge_value(std::string_view name) const;
   /// The histogram, or nullptr when absent.
   const Histogram* find_histogram(std::string_view name) const;
+
+  /// Point-in-time copies for encoders and samplers, sorted by name.
+  /// Histogram pointers stay valid for the registry's lifetime and are safe
+  /// to read concurrently with Record (all fields are atomics).
+  std::vector<std::pair<std::string, uint64_t>> CounterValues() const;
+  std::vector<std::pair<std::string, double>> GaugeValues() const;
+  std::vector<std::pair<std::string, const Histogram*>> HistogramEntries()
+      const;
 
   /// Flat JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}.
   void WriteJson(std::ostream& os) const;

@@ -1,0 +1,49 @@
+#ifndef LDLOPT_OBS_PROMETHEUS_H_
+#define LDLOPT_OBS_PROMETHEUS_H_
+
+#include <ostream>
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.h"
+#include "obs/process_metrics.h"
+
+namespace ldl {
+
+/// Options for the text exposition. The prefix namespaces every metric
+/// ("engine.tuples_examined" -> "ldlopt_engine_tuples_examined") so a
+/// scrape of several processes stays unambiguous.
+struct PrometheusOptions {
+  std::string prefix = "ldlopt_";
+  /// When set, a `<prefix>build_info{compiler=...,git=...} 1` info gauge is
+  /// emitted first — the conventional carrier for build metadata.
+  const BuildInfo* build_info = nullptr;
+};
+
+/// Exposition-format metric name: the registry-canonical name with '.'
+/// mapped to '_', behind `prefix`. The result always matches
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*`.
+std::string PromMetricName(std::string_view name, std::string_view prefix);
+
+/// Escapes a label value per the text exposition format: backslash, double
+/// quote, and newline. Does not add the surrounding quotes.
+std::string PromLabelEscape(std::string_view value);
+
+/// Writes the registry in Prometheus text exposition format v0.0.4:
+/// HELP/TYPE comment pairs, counters and gauges as single samples, and
+/// histograms as cumulative `_bucket{le=...}` series plus `_sum`/`_count`.
+/// The log2 buckets map to le bounds of 2^b; a value v lands under the
+/// smallest emitted bound >= its bucket's upper edge, so bucket shapes are
+/// approximate within a factor of two — same contract as
+/// Histogram::percentile. Output is byte-deterministic for a fixed registry
+/// state (names sorted, fixed number formatting).
+void WritePrometheus(const MetricsRegistry& registry, std::ostream& os,
+                     const PrometheusOptions& options = {});
+
+/// WritePrometheus into a string (the /metrics response body).
+std::string RenderPrometheus(const MetricsRegistry& registry,
+                             const PrometheusOptions& options = {});
+
+}  // namespace ldl
+
+#endif  // LDLOPT_OBS_PROMETHEUS_H_

@@ -1,0 +1,261 @@
+#include "obs/workload.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "base/strings.h"
+
+namespace ldl {
+
+namespace {
+
+std::string FmtMs(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+std::string FmtPct(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%+.0f%%", v);
+  return buf;
+}
+
+/// Fixed-width text table in the bench_util style (this library cannot
+/// depend on bench/, so the small renderer is repeated here).
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> row) {
+    rows_.push_back(std::move(row));
+  }
+
+  void AppendTo(std::string* out) const {
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+        widths[c] = std::max(widths[c], row[c].size());
+      }
+    }
+    auto append_row = [&](const std::vector<std::string>& row) {
+      out->push_back('|');
+      for (size_t c = 0; c < widths.size(); ++c) {
+        const std::string& cell = c < row.size() ? row[c] : std::string();
+        StrAppend(out, " ", cell,
+                  std::string(widths[c] - cell.size(), ' '), " |");
+      }
+      out->push_back('\n');
+    };
+    append_row(headers_);
+    out->push_back('|');
+    for (size_t c = 0; c < widths.size(); ++c) {
+      StrAppend(out, std::string(widths[c] + 2, '-'), "|");
+    }
+    out->push_back('\n');
+    for (const auto& row : rows_) append_row(row);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::string PlanSetToString(const std::map<std::string, size_t>& plans) {
+  std::string out;
+  bool first = true;
+  for (const auto& [fp, n] : plans) {
+    if (!first) out += " ";
+    first = false;
+    StrAppend(&out, fp.empty() ? "(none)" : fp);
+    if (plans.size() > 1) StrAppend(&out, "x", n);
+  }
+  return out;
+}
+
+std::string OutcomeMixToString(const std::map<std::string, size_t>& mix) {
+  std::string out;
+  bool first = true;
+  for (const auto& [outcome, n] : mix) {
+    if (!first) out += " ";
+    first = false;
+    StrAppend(&out, outcome, ":", n);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string QuerySignature(const QueryLogRecord& record) {
+  return StrCat(record.program, "|", record.query, "|", record.adornment);
+}
+
+double SignatureAggregate::LatencyPercentile(double p) const {
+  if (total_ms.empty()) return 0;
+  if (p <= 0) return total_ms.front();
+  if (p >= 1) return total_ms.back();
+  // Nearest-rank: smallest sample with at least p*n samples <= it.
+  size_t rank = static_cast<size_t>(p * static_cast<double>(total_ms.size()));
+  if (rank >= total_ms.size()) rank = total_ms.size() - 1;
+  return total_ms[rank];
+}
+
+WorkloadReport WorkloadReport::Build(
+    const std::vector<QueryLogRecord>& records) {
+  WorkloadReport report;
+  report.records = records.size();
+  report.raw_ = records;
+  for (const QueryLogRecord& rec : records) {
+    ++report.outcomes[rec.outcome];
+    if (rec.outcome == "ok") ++report.ok;
+    SignatureAggregate& agg = report.by_signature[QuerySignature(rec)];
+    ++agg.count;
+    if (rec.outcome == "ok") ++agg.ok;
+    ++agg.outcomes[rec.outcome];
+    ++agg.plans[rec.plan_fingerprint];
+    if (!rec.method.empty()) agg.methods.insert(rec.method);
+    agg.total_ms.push_back(rec.total_ms);
+    agg.tuples_examined += rec.tuples_examined;
+    agg.tuples_derived += rec.tuples_derived;
+    agg.peak_bytes_max = std::max(agg.peak_bytes_max, rec.peak_bytes);
+    agg.answers_max = std::max(agg.answers_max, rec.answers);
+  }
+  for (auto& [sig, agg] : report.by_signature) {
+    std::sort(agg.total_ms.begin(), agg.total_ms.end());
+  }
+  return report;
+}
+
+std::string WorkloadReport::ToString(size_t top_n) const {
+  std::string out = StrCat("== workload: ", records, " records, ",
+                           by_signature.size(), " signatures (",
+                           OutcomeMixToString(outcomes), ") ==\n");
+  TextTable table({"signature", "n", "ok", "method", "plans", "p50 ms",
+                   "p95 ms", "max ms", "tuples", "peak B"});
+  for (const auto& [sig, agg] : by_signature) {
+    table.AddRow({sig, std::to_string(agg.count), std::to_string(agg.ok),
+                  StrJoin(agg.methods, ","),
+                  PlanSetToString(agg.plans),
+                  FmtMs(agg.LatencyPercentile(0.50)),
+                  FmtMs(agg.LatencyPercentile(0.95)),
+                  FmtMs(agg.latency_max()),
+                  std::to_string(agg.tuples_examined),
+                  std::to_string(agg.peak_bytes_max)});
+  }
+  table.AppendTo(&out);
+
+  if (top_n > 0 && !raw_.empty()) {
+    std::vector<const QueryLogRecord*> by_tuples;
+    by_tuples.reserve(raw_.size());
+    for (const QueryLogRecord& rec : raw_) by_tuples.push_back(&rec);
+    std::stable_sort(by_tuples.begin(), by_tuples.end(),
+                     [](const QueryLogRecord* a, const QueryLogRecord* b) {
+                       return a->tuples_examined > b->tuples_examined;
+                     });
+    if (by_tuples.size() > top_n) by_tuples.resize(top_n);
+    StrAppend(&out, "\n== top ", by_tuples.size(),
+              " records by tuples examined ==\n");
+    TextTable top({"query", "outcome", "tuples", "rounds", "total ms",
+                   "plan"});
+    for (const QueryLogRecord* rec : by_tuples) {
+      top.AddRow({rec->query, rec->outcome,
+                  std::to_string(rec->tuples_examined),
+                  std::to_string(rec->fixpoint_rounds),
+                  FmtMs(rec->total_ms), rec->plan_fingerprint});
+    }
+    top.AppendTo(&out);
+  }
+  return out;
+}
+
+WorkloadDiff WorkloadDiff::Build(const WorkloadReport& before,
+                                 const WorkloadReport& after,
+                                 const WorkloadThresholds& thresholds) {
+  WorkloadDiff diff;
+  for (const auto& [sig, b] : before.by_signature) {
+    auto it = after.by_signature.find(sig);
+    if (it == after.by_signature.end()) {
+      diff.findings.push_back(
+          {Kind::kOnlyBefore, sig,
+           StrCat("signature absent from the second log (", b.count,
+                  " records in the first)")});
+      continue;
+    }
+    const SignatureAggregate& a = it->second;
+
+    // Plan drift: the optimizer made a decision in the second run that the
+    // first run never made for this signature.
+    std::vector<std::string> new_plans;
+    for (const auto& [fp, n] : a.plans) {
+      if (b.plans.find(fp) == b.plans.end()) new_plans.push_back(fp);
+    }
+    if (!new_plans.empty()) {
+      ++diff.plan_drifts;
+      diff.findings.push_back(
+          {Kind::kPlanDrift, sig,
+           StrCat("plan fingerprint drift: {", PlanSetToString(b.plans),
+                  "} -> {", PlanSetToString(a.plans), "}")});
+    }
+
+    // Outcome mix change: a query that succeeded starts failing (or vice
+    // versa) between runs of the same workload.
+    if (b.outcomes != a.outcomes) {
+      ++diff.outcome_changes;
+      diff.findings.push_back(
+          {Kind::kOutcomeChange, sig,
+           StrCat("outcome mix changed: {", OutcomeMixToString(b.outcomes),
+                  "} -> {", OutcomeMixToString(a.outcomes), "}")});
+    }
+
+    const double b50 = b.LatencyPercentile(0.50);
+    const double a50 = a.LatencyPercentile(0.50);
+    if ((b50 >= thresholds.min_ms || a50 >= thresholds.min_ms) && b50 > 0) {
+      const double growth_pct = (a50 / b50 - 1.0) * 100.0;
+      if (growth_pct > thresholds.latency_pct) {
+        ++diff.latency_regressions;
+        diff.findings.push_back(
+            {Kind::kLatencyRegression, sig,
+             StrCat("p50 latency ", FmtMs(b50), " ms -> ", FmtMs(a50),
+                    " ms (", FmtPct(growth_pct), ", threshold +",
+                    thresholds.latency_pct, "%)")});
+      }
+    }
+  }
+  for (const auto& [sig, a] : after.by_signature) {
+    if (before.by_signature.find(sig) == before.by_signature.end()) {
+      diff.findings.push_back(
+          {Kind::kOnlyAfter, sig,
+           StrCat("signature only in the second log (", a.count,
+                  " records)")});
+    }
+  }
+  return diff;
+}
+
+std::string WorkloadDiff::ToString() const {
+  std::string out;
+  auto kind_name = [](Kind kind) {
+    switch (kind) {
+      case Kind::kPlanDrift: return "PLAN-DRIFT";
+      case Kind::kOutcomeChange: return "OUTCOME-CHANGE";
+      case Kind::kLatencyRegression: return "LATENCY-REGRESSION";
+      case Kind::kOnlyBefore: return "ONLY-BEFORE";
+      case Kind::kOnlyAfter: return "ONLY-AFTER";
+    }
+    return "?";
+  };
+  for (const Finding& f : findings) {
+    StrAppend(&out, kind_name(f.kind), " ", f.signature, ": ", f.detail,
+              "\n");
+  }
+  StrAppend(&out, "workload diff: ", findings.size(), " findings (",
+            plan_drifts, " plan drifts, ", outcome_changes,
+            " outcome changes, ", latency_regressions,
+            " latency regressions)\n");
+  return out;
+}
+
+}  // namespace ldl

@@ -1,0 +1,105 @@
+#ifndef LDLOPT_OBS_WORKLOAD_H_
+#define LDLOPT_OBS_WORKLOAD_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "obs/query_log.h"
+
+namespace ldl {
+
+/// Aggregated view of every record sharing one query signature
+/// (program | query | adornment) — the unit the serving layer's plan cache
+/// would key on, and the grain at which drift across runs is meaningful.
+struct SignatureAggregate {
+  size_t count = 0;
+  size_t ok = 0;
+  std::map<std::string, size_t> outcomes;  ///< outcome tag -> records
+  std::map<std::string, size_t> plans;     ///< plan fingerprint -> records
+  std::set<std::string> methods;           ///< recursion methods seen
+  std::vector<double> total_ms;            ///< sorted by Finalize
+  uint64_t tuples_examined = 0;            ///< summed across records
+  uint64_t tuples_derived = 0;
+  uint64_t peak_bytes_max = 0;
+  uint64_t answers_max = 0;
+
+  /// Exact percentile over the recorded latencies (p in [0,1]; nearest-rank
+  /// on the sorted samples). 0 when no records.
+  double LatencyPercentile(double p) const;
+  double latency_max() const {
+    return total_ms.empty() ? 0 : total_ms.back();
+  }
+};
+
+/// One query-log file digested into per-signature aggregates.
+struct WorkloadReport {
+  static WorkloadReport Build(const std::vector<QueryLogRecord>& records);
+
+  size_t records = 0;
+  size_t ok = 0;
+  std::map<std::string, size_t> outcomes;            ///< overall outcome mix
+  std::map<std::string, SignatureAggregate> by_signature;
+
+  /// Aggregate table (one row per signature: counts, plan fingerprints,
+  /// latency p50/p95/max, tuples, peak bytes) followed by the top-N records
+  /// by tuples examined.
+  std::string ToString(size_t top_n = 5) const;
+
+ private:
+  std::vector<QueryLogRecord> raw_;  ///< kept for the top-N section
+};
+
+/// Gate thresholds for two-log mode.
+struct WorkloadThresholds {
+  /// Latency regression: fail when a signature's p50 grew by more than this
+  /// percentage over the baseline log.
+  double latency_pct = 50.0;
+  /// Ignore latency comparisons where both sides are below this floor —
+  /// micro-timings are noise.
+  double min_ms = 1.0;
+};
+
+/// Differences between two runs of (nominally) the same workload.
+struct WorkloadDiff {
+  enum class Kind {
+    kPlanDrift,          ///< a plan fingerprint not seen in the baseline
+    kOutcomeChange,      ///< outcome mix changed (ok <-> typed failure)
+    kLatencyRegression,  ///< p50 grew past the threshold
+    kOnlyBefore,         ///< signature disappeared
+    kOnlyAfter,          ///< signature appeared
+  };
+  struct Finding {
+    Kind kind;
+    std::string signature;
+    std::string detail;
+  };
+
+  static WorkloadDiff Build(const WorkloadReport& before,
+                            const WorkloadReport& after,
+                            const WorkloadThresholds& thresholds);
+
+  std::vector<Finding> findings;
+  size_t plan_drifts = 0;
+  size_t outcome_changes = 0;
+  size_t latency_regressions = 0;
+
+  /// True when a gating finding exists (plan drift, outcome change, or
+  /// latency regression); only-before/only-after are informational — a
+  /// trimmed workload is not a regression.
+  bool failed() const {
+    return plan_drifts != 0 || outcome_changes != 0 ||
+           latency_regressions != 0;
+  }
+
+  std::string ToString() const;
+};
+
+/// The diff/aggregation key: program|query|adornment.
+std::string QuerySignature(const QueryLogRecord& record);
+
+}  // namespace ldl
+
+#endif  // LDLOPT_OBS_WORKLOAD_H_

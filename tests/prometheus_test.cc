@@ -1,0 +1,151 @@
+// Tests for the Prometheus text exposition (src/obs/prometheus.h) and the
+// metric-name hygiene it depends on (src/obs/metrics.h): a golden file pins
+// the exposition byte-for-byte for a fixed registry, and the sanitation
+// tests pin the regression where a caller-supplied name with spaces or
+// parentheses ("delta size (tuples)") rendered as an invalid identifier in
+// both the JSON dump and the exposition.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/prometheus.h"
+
+namespace ldl {
+namespace {
+
+// The fixed registry behind the golden file: one of each instrument kind
+// plus the hostile names the sanitizer must rewrite.
+void FillRegistry(MetricsRegistry* metrics) {
+  metrics->counter("engine.tuples_examined")->Increment(42);
+  metrics->counter("7 invalid name!")->Increment(1);
+  metrics->gauge("optimizer.memo.size")->Set(3.5);
+  Histogram* hist = metrics->histogram("fixpoint.delta size (tuples)");
+  hist->Record(1);   // bucket 1: [1, 2)
+  hist->Record(3);   // bucket 2: [2, 4)
+  hist->Record(8);   // bucket 4: [8, 16)
+}
+
+BuildInfo TestBuildInfo() {
+  BuildInfo info;
+  info.compiler = "testcc 1.0";
+  info.standard = "c++2020";
+  info.build_type = "Golden";
+  info.git = "deadbee";
+  info.sanitizer = "";
+  return info;
+}
+
+TEST(PrometheusTest, MatchesGoldenFile) {
+  MetricsRegistry metrics;
+  FillRegistry(&metrics);
+  const BuildInfo info = TestBuildInfo();
+  PrometheusOptions options;
+  options.build_info = &info;
+  const std::string actual = RenderPrometheus(metrics, options);
+
+  const std::string path =
+      std::string(LDLOPT_SOURCE_DIR) + "/tests/golden/metrics.golden.prom";
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open()) << path;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+
+  // The exposition is a wire format scraped by external collectors:
+  // changing it requires regenerating this golden deliberately.
+  EXPECT_EQ(actual, buffer.str());
+}
+
+TEST(PrometheusTest, HistogramBucketsAreCumulative) {
+  MetricsRegistry metrics;
+  FillRegistry(&metrics);
+  const std::string out = RenderPrometheus(metrics);
+  const std::string name = "ldlopt_fixpoint_delta_size__tuples_";
+  EXPECT_NE(out.find(name + "_bucket{le=\"1\"} 0\n"), std::string::npos);
+  EXPECT_NE(out.find(name + "_bucket{le=\"2\"} 1\n"), std::string::npos);
+  EXPECT_NE(out.find(name + "_bucket{le=\"4\"} 2\n"), std::string::npos);
+  EXPECT_NE(out.find(name + "_bucket{le=\"8\"} 2\n"), std::string::npos);
+  EXPECT_NE(out.find(name + "_bucket{le=\"16\"} 3\n"), std::string::npos);
+  EXPECT_NE(out.find(name + "_bucket{le=\"+Inf\"} 3\n"), std::string::npos);
+  EXPECT_NE(out.find(name + "_sum 12\n"), std::string::npos);
+  EXPECT_NE(out.find(name + "_count 3\n"), std::string::npos);
+}
+
+TEST(MetricNameTest, CanonicalCharset) {
+  EXPECT_TRUE(IsCanonicalMetricName("engine.tuples_examined"));
+  EXPECT_TRUE(IsCanonicalMetricName("a:b_c.d9"));
+  EXPECT_TRUE(IsCanonicalMetricName("_"));
+  EXPECT_FALSE(IsCanonicalMetricName(""));
+  EXPECT_FALSE(IsCanonicalMetricName("7leading_digit"));
+  EXPECT_FALSE(IsCanonicalMetricName("has space"));
+  EXPECT_FALSE(IsCanonicalMetricName("tab\there"));
+}
+
+TEST(MetricNameTest, SanitizeRewritesAndIsIdempotent) {
+  EXPECT_EQ(SanitizeMetricName("delta size (tuples)"),
+            "delta_size__tuples_");
+  EXPECT_EQ(SanitizeMetricName("7invalid"), "_7invalid");
+  EXPECT_EQ(SanitizeMetricName(""), "_");
+  EXPECT_EQ(SanitizeMetricName("engine.ok"), "engine.ok");
+  const std::string once = SanitizeMetricName("a b\nc\"d");
+  EXPECT_EQ(SanitizeMetricName(once), once);
+  EXPECT_TRUE(IsCanonicalMetricName(once));
+}
+
+// Regression: a name with spaces used to land in the registry verbatim and
+// render as an invalid identifier everywhere. Now the registry canonicalizes
+// on every path, so the hostile and canonical spellings are one instrument
+// and every surface shows the canonical name.
+TEST(MetricNameTest, RegistrySanitizesOnEveryPath) {
+  MetricsRegistry metrics;
+  metrics.counter("delta size (tuples)")->Increment(5);
+  EXPECT_EQ(metrics.counter("delta_size__tuples_")->value(), 5u);
+  EXPECT_EQ(metrics.counter_value("delta size (tuples)"), 5u);
+
+  std::ostringstream json;
+  metrics.WriteJson(json);
+  EXPECT_NE(json.str().find("\"delta_size__tuples_\":5"), std::string::npos);
+  EXPECT_EQ(json.str().find("delta size"), std::string::npos);
+
+  const std::string prom = RenderPrometheus(metrics);
+  EXPECT_NE(prom.find("ldlopt_delta_size__tuples_ 5"), std::string::npos);
+}
+
+TEST(PromNameTest, MapsDotsAndPrefixes) {
+  EXPECT_EQ(PromMetricName("engine.tuples_examined", "ldlopt_"),
+            "ldlopt_engine_tuples_examined");
+  EXPECT_EQ(PromMetricName("7invalid", "ldlopt_"), "ldlopt__7invalid");
+  EXPECT_EQ(PromMetricName("7invalid", ""), "_7invalid");
+  EXPECT_EQ(PromMetricName("", ""), "_");
+}
+
+TEST(PromLabelTest, EscapesBackslashQuoteNewline) {
+  EXPECT_EQ(PromLabelEscape("plain"), "plain");
+  EXPECT_EQ(PromLabelEscape("a\\b\"c\nd"), "a\\\\b\\\"c\\nd");
+}
+
+TEST(PrometheusTest, BuildInfoLabelValuesAreEscaped) {
+  MetricsRegistry metrics;
+  metrics.counter("x")->Increment();
+  BuildInfo info = TestBuildInfo();
+  info.git = "tag\"with\\odd\nchars";
+  PrometheusOptions options;
+  options.build_info = &info;
+  const std::string out = RenderPrometheus(metrics, options);
+  EXPECT_NE(out.find("git=\"tag\\\"with\\\\odd\\nchars\""),
+            std::string::npos);
+  // The raw newline must not split the sample line: the line carrying the
+  // git label still ends in the value.
+  const size_t line_start = out.find("ldlopt_build_info{");
+  ASSERT_NE(line_start, std::string::npos);
+  const size_t line_end = out.find('\n', line_start);
+  const std::string line = out.substr(line_start, line_end - line_start);
+  EXPECT_NE(line.find("git="), std::string::npos);
+  EXPECT_EQ(line.substr(line.size() - 2), " 1");
+}
+
+}  // namespace
+}  // namespace ldl

@@ -1,0 +1,172 @@
+// Tests for the workload-log analytics (src/obs/workload.h): per-signature
+// aggregation, latency percentiles, and the two-log diff that flags plan
+// fingerprint drift, outcome changes, and latency regressions (what
+// `ldl_workload --check` gates CI on).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/query_log.h"
+#include "obs/workload.h"
+
+namespace ldl {
+namespace {
+
+QueryLogRecord MakeRecord(const std::string& query, const std::string& plan,
+                          double total_ms, const std::string& outcome = "ok") {
+  QueryLogRecord rec;
+  rec.program = "prog.ldl";
+  rec.query = query;
+  rec.adornment = "bf";
+  rec.method = "magic";
+  rec.plan_fingerprint = plan;
+  rec.outcome = outcome;
+  rec.total_ms = total_ms;
+  rec.tuples_examined = 10;
+  rec.tuples_derived = 4;
+  rec.peak_bytes = 1000;
+  rec.answers = 2;
+  return rec;
+}
+
+TEST(WorkloadReportTest, AggregatesBySignature) {
+  std::vector<QueryLogRecord> records;
+  records.push_back(MakeRecord("a(X)", "p1", 1.0));
+  records.push_back(MakeRecord("a(X)", "p1", 3.0));
+  records.push_back(MakeRecord("b(X)", "p2", 2.0, "unsafe"));
+  const WorkloadReport report = WorkloadReport::Build(records);
+
+  EXPECT_EQ(report.records, 3u);
+  EXPECT_EQ(report.ok, 2u);
+  EXPECT_EQ(report.outcomes.at("ok"), 2u);
+  EXPECT_EQ(report.outcomes.at("unsafe"), 1u);
+  ASSERT_EQ(report.by_signature.size(), 2u);
+
+  const SignatureAggregate& a = report.by_signature.at("prog.ldl|a(X)|bf");
+  EXPECT_EQ(a.count, 2u);
+  EXPECT_EQ(a.ok, 2u);
+  EXPECT_EQ(a.plans.at("p1"), 2u);
+  EXPECT_EQ(a.tuples_examined, 20u);
+  EXPECT_EQ(a.latency_max(), 3.0);
+
+  const SignatureAggregate& b = report.by_signature.at("prog.ldl|b(X)|bf");
+  EXPECT_EQ(b.ok, 0u);
+  EXPECT_EQ(b.outcomes.at("unsafe"), 1u);
+}
+
+TEST(WorkloadReportTest, LatencyPercentiles) {
+  std::vector<QueryLogRecord> records;
+  for (int i = 1; i <= 100; ++i) {
+    records.push_back(MakeRecord("a(X)", "p1", static_cast<double>(i)));
+  }
+  const WorkloadReport report = WorkloadReport::Build(records);
+  const SignatureAggregate& agg = report.by_signature.at("prog.ldl|a(X)|bf");
+  EXPECT_EQ(agg.LatencyPercentile(0.0), 1.0);
+  EXPECT_EQ(agg.LatencyPercentile(1.0), 100.0);
+  EXPECT_NEAR(agg.LatencyPercentile(0.50), 51.0, 1.0);
+  EXPECT_NEAR(agg.LatencyPercentile(0.95), 96.0, 1.0);
+}
+
+TEST(WorkloadReportTest, ToStringListsSignaturesAndTopRecords) {
+  std::vector<QueryLogRecord> records;
+  records.push_back(MakeRecord("a(X)", "p1", 1.0));
+  QueryLogRecord heavy = MakeRecord("b(X)", "p2", 9.0);
+  heavy.tuples_examined = 999;
+  records.push_back(heavy);
+  const std::string text = WorkloadReport::Build(records).ToString(1);
+  EXPECT_NE(text.find("2 records, 2 signatures"), std::string::npos);
+  EXPECT_NE(text.find("prog.ldl|a(X)|bf"), std::string::npos);
+  EXPECT_NE(text.find("top 1 records by tuples examined"),
+            std::string::npos);
+  EXPECT_NE(text.find("999"), std::string::npos);
+}
+
+TEST(WorkloadDiffTest, CleanRerunHasNoFindings) {
+  std::vector<QueryLogRecord> records;
+  records.push_back(MakeRecord("a(X)", "p1", 1.0));
+  records.push_back(MakeRecord("b(X)", "p2", 2.0));
+  const WorkloadReport before = WorkloadReport::Build(records);
+  const WorkloadReport after = WorkloadReport::Build(records);
+  const WorkloadDiff diff = WorkloadDiff::Build(before, after, {});
+  EXPECT_TRUE(diff.findings.empty());
+  EXPECT_FALSE(diff.failed());
+}
+
+TEST(WorkloadDiffTest, DetectsInjectedPlanDrift) {
+  std::vector<QueryLogRecord> base;
+  base.push_back(MakeRecord("a(X)", "p1", 1.0));
+  base.push_back(MakeRecord("b(X)", "p2", 1.0));
+  std::vector<QueryLogRecord> drifted = base;
+  drifted[1].plan_fingerprint = "deadbeef";  // the optimizer changed its mind
+  const WorkloadDiff diff =
+      WorkloadDiff::Build(WorkloadReport::Build(base),
+                          WorkloadReport::Build(drifted), {});
+  EXPECT_TRUE(diff.failed());
+  EXPECT_EQ(diff.plan_drifts, 1u);
+  ASSERT_EQ(diff.findings.size(), 1u);
+  EXPECT_EQ(diff.findings[0].kind, WorkloadDiff::Kind::kPlanDrift);
+  EXPECT_EQ(diff.findings[0].signature, "prog.ldl|b(X)|bf");
+  EXPECT_NE(diff.ToString().find("PLAN-DRIFT"), std::string::npos);
+  EXPECT_NE(diff.ToString().find("deadbeef"), std::string::npos);
+}
+
+TEST(WorkloadDiffTest, DetectsOutcomeChange) {
+  std::vector<QueryLogRecord> base;
+  base.push_back(MakeRecord("a(X)", "p1", 1.0));
+  std::vector<QueryLogRecord> broken;
+  broken.push_back(MakeRecord("a(X)", "p1", 1.0, "resource_exhausted"));
+  const WorkloadDiff diff =
+      WorkloadDiff::Build(WorkloadReport::Build(base),
+                          WorkloadReport::Build(broken), {});
+  EXPECT_TRUE(diff.failed());
+  EXPECT_EQ(diff.outcome_changes, 1u);
+}
+
+TEST(WorkloadDiffTest, LatencyRegressionRespectsThresholdAndFloor) {
+  WorkloadThresholds thresholds;
+  thresholds.latency_pct = 50.0;
+  thresholds.min_ms = 1.0;
+
+  std::vector<QueryLogRecord> base;
+  base.push_back(MakeRecord("a(X)", "p1", 10.0));
+  std::vector<QueryLogRecord> slow;
+  slow.push_back(MakeRecord("a(X)", "p1", 20.0));  // +100% > +50%
+  const WorkloadDiff regressed =
+      WorkloadDiff::Build(WorkloadReport::Build(base),
+                          WorkloadReport::Build(slow), thresholds);
+  EXPECT_EQ(regressed.latency_regressions, 1u);
+  EXPECT_TRUE(regressed.failed());
+
+  std::vector<QueryLogRecord> mild;
+  mild.push_back(MakeRecord("a(X)", "p1", 14.0));  // +40% < +50%
+  EXPECT_FALSE(WorkloadDiff::Build(WorkloadReport::Build(base),
+                                   WorkloadReport::Build(mild), thresholds)
+                   .failed());
+
+  // Micro-timings below the floor never gate, whatever the ratio.
+  std::vector<QueryLogRecord> tiny_base;
+  tiny_base.push_back(MakeRecord("a(X)", "p1", 0.01));
+  std::vector<QueryLogRecord> tiny_slow;
+  tiny_slow.push_back(MakeRecord("a(X)", "p1", 0.09));
+  EXPECT_FALSE(WorkloadDiff::Build(WorkloadReport::Build(tiny_base),
+                                   WorkloadReport::Build(tiny_slow),
+                                   thresholds)
+                   .failed());
+}
+
+TEST(WorkloadDiffTest, SignatureAppearDisappearIsInformational) {
+  std::vector<QueryLogRecord> base;
+  base.push_back(MakeRecord("a(X)", "p1", 1.0));
+  std::vector<QueryLogRecord> other;
+  other.push_back(MakeRecord("b(X)", "p2", 1.0));
+  const WorkloadDiff diff =
+      WorkloadDiff::Build(WorkloadReport::Build(base),
+                          WorkloadReport::Build(other), {});
+  EXPECT_EQ(diff.findings.size(), 2u);  // only-before + only-after
+  EXPECT_FALSE(diff.failed());
+}
+
+}  // namespace
+}  // namespace ldl

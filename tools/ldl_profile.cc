@@ -40,6 +40,15 @@
 //   --query-log FILE     execute each query through the instrumented
 //                        lifecycle path and append one structured JSONL
 //                        record per query (replayable with ldl_replay).
+//   --stats-port N       serve GET /metrics (Prometheus text exposition),
+//                        /healthz, and /statusz on 127.0.0.1:N for the
+//                        lifetime of the run; N=0 binds an ephemeral port.
+//                        The bound port is printed on stdout. Starts the
+//                        time-series sampler feeding /statusz sparklines.
+//   --sample-ms X        time-series sampling period (default 200).
+//   --repeat K           execute the query set K times (EXPLAIN output is
+//                        printed once); keeps a --stats-port run alive and
+//                        busy long enough to scrape.
 //
 // Exit status: 0 success, 1 any query failed (parse, optimize, unsafe plan,
 // or execution error — details on stderr), 2 usage error.
@@ -52,9 +61,12 @@
 
 #include "base/strings.h"
 #include "ldl/ldl.h"
+#include "net/stats_server.h"
 #include "obs/context.h"
 #include "obs/metrics.h"
+#include "obs/process_metrics.h"
 #include "obs/search_trace.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 
 namespace {
@@ -67,6 +79,9 @@ struct CliOptions {
   uint64_t budget_bytes = 0;
   uint64_t budget_tuples = 0;
   double deadline_ms = 0;
+  int stats_port = -1;  ///< -1 = no server; 0 = ephemeral
+  int sample_ms = 200;
+  int repeat = 1;
   std::string query_log;
   std::string trace_json;
   std::string metrics_json;
@@ -85,7 +100,8 @@ int Usage() {
                "[--calibration-json FILE] [--search-json FILE] "
                "[--fixpoint-json FILE] [--dot FILE] [--prune] "
                "[--budget-bytes N] [--budget-tuples N] [--deadline-ms X] "
-               "[--query-log FILE] file.ldl | -\n";
+               "[--query-log FILE] [--stats-port N] [--sample-ms X] "
+               "[--repeat K] file.ldl | -\n";
   return 2;
 }
 
@@ -140,6 +156,12 @@ int main(int argc, char** argv) {
       cli.deadline_ms = std::stod(argv[++i]);
     } else if (arg == "--query-log" && i + 1 < argc) {
       cli.query_log = argv[++i];
+    } else if (arg == "--stats-port" && i + 1 < argc) {
+      cli.stats_port = std::stoi(argv[++i]);
+    } else if (arg == "--sample-ms" && i + 1 < argc) {
+      cli.sample_ms = std::stoi(argv[++i]);
+    } else if (arg == "--repeat" && i + 1 < argc) {
+      cli.repeat = std::stoi(argv[++i]);
     } else if (arg == "--help" || arg == "-h") {
       Usage();
       return 0;
@@ -154,6 +176,10 @@ int main(int argc, char** argv) {
     }
   }
   if (cli.file.empty()) return Usage();
+  if (cli.repeat < 1 || cli.sample_ms < 1) {
+    std::cerr << "ldl_profile: --repeat and --sample-ms must be >= 1\n";
+    return 2;
+  }
   if (!cli.calibration_json.empty() && !cli.analyze) {
     std::cerr << "ldl_profile: --calibration-json requires --analyze "
                  "(calibration pairs estimates with measured actuals)\n";
@@ -169,6 +195,7 @@ int main(int argc, char** argv) {
   ldl::Tracer tracer;
   tracer.set_enabled(true);
   ldl::MetricsRegistry metrics;
+  ldl::ProcessMetricsSource process_metrics(&metrics);
   ldl::SearchTracer search_tracer;
   ldl::OptimizerOptions options;
   options.trace.tracer = &tracer;
@@ -215,6 +242,31 @@ int main(int argc, char** argv) {
                              "or pass --query)\n";
   }
 
+  // Telemetry surfaces: the background sampler feeds /statusz sparklines,
+  // the stats server exposes /metrics, /healthz, /statusz until exit.
+  ldl::TimeSeriesOptions sampler_options;
+  sampler_options.period = std::chrono::milliseconds(cli.sample_ms);
+  sampler_options.metrics = &metrics;
+  ldl::TimeSeriesSampler sampler(sampler_options);
+  ldl::StatsServerOptions server_options;
+  server_options.port = cli.stats_port < 0 ? 0 : cli.stats_port;
+  server_options.metrics = &metrics;
+  server_options.sampler = &sampler;
+  server_options.process = &process_metrics;
+  server_options.refresh = [&process_metrics] { process_metrics.Refresh(); };
+  if (!cli.query_log.empty()) server_options.query_log = &query_log;
+  ldl::StatsServer server(server_options);
+  if (cli.stats_port >= 0) {
+    sampler.Start();
+    ldl::Status started = server.Start();
+    if (!started.ok()) {
+      std::cerr << "ldl_profile: " << started.ToString() << "\n";
+      return 1;
+    }
+    std::cout << "stats server listening on 127.0.0.1:" << server.port()
+              << std::endl;
+  }
+
   bool failed = false;
   std::vector<ldl::CalibrationReport> reports;
   std::vector<std::string> search_entries;  // one JSON object per goal
@@ -222,10 +274,17 @@ int main(int argc, char** argv) {
   std::string dot;
   const bool execute_queries = !cli.fixpoint_json.empty() ||
                                !cli.query_log.empty() ||
-                               options.limits.any();
-  for (const std::string& goal : goals) {
-    std::cout << "== " << (cli.analyze ? "EXPLAIN ANALYZE " : "EXPLAIN ")
-              << goal << "? ==\n";
+                               options.limits.any() || cli.repeat > 1 ||
+                               cli.stats_port >= 0;
+  for (int rep = 0; rep < cli.repeat; ++rep) {
+    // Only the first pass prints; later passes re-execute the queries so a
+    // --stats-port scrape sees a live, moving workload.
+    const bool verbose = rep == 0;
+    for (const std::string& goal : goals) {
+    if (verbose) {
+      std::cout << "== " << (cli.analyze ? "EXPLAIN ANALYZE " : "EXPLAIN ")
+                << goal << "? ==\n";
+    }
     // Execute first when asked to: LdlSystem::Query is the instrumented
     // lifecycle path — it enforces the limits, appends the query-log
     // record (on success and on typed failure), and carries the
@@ -236,7 +295,7 @@ int main(int argc, char** argv) {
         std::cerr << "ldl_profile: " << goal << ": "
                   << answer.status().ToString() << "\n";
         failed = true;
-      } else {
+      } else if (verbose) {
         if (!cli.query_log.empty()) {
           std::cout << "lifecycle: " << answer->answers.size()
                     << " answers, peak " << answer->peak_bytes
@@ -258,6 +317,7 @@ int main(int argc, char** argv) {
         }
       }
     }
+    if (!verbose) continue;
     // The plan summary (and, via Optimize, the optimizer.* metrics). One
     // shared tracer, cleared per goal; the trace is captured right after
     // this call, before --analyze's regret re-runs pollute it.
@@ -303,6 +363,16 @@ int main(int argc, char** argv) {
       }
       std::cout << *rendered << "\n";
     }
+    }
+  }
+
+  if (cli.stats_port >= 0) {
+    // Final sample + graceful teardown before the dumps below, so
+    // --metrics-json written after a server run reflects the whole
+    // workload (statsserver.* counters included).
+    sampler.SampleOnce();
+    server.Stop();
+    sampler.Stop();
   }
 
   if (!cli.calibration_json.empty()) {
@@ -354,6 +424,7 @@ int main(int argc, char** argv) {
     }
     out << dot;
   }
+  process_metrics.Refresh();  // current uptime/RSS in the dumps below
   if (cli.print_metrics) std::cout << metrics.ToString();
   if (!cli.metrics_json.empty()) {
     std::ofstream out(cli.metrics_json);

@@ -8,6 +8,9 @@
 //                     recorded in each record (also the only way to replay
 //                     records whose program field is empty).
 //   --verbose         print a line for every record, not just drifts.
+//   --summary         after replaying, print the workload aggregate table
+//                     (per-signature counts, plans, latency percentiles —
+//                     the same view ldl_workload prints) for the log.
 //
 // For every record the replayer loads the record's program (programs and
 // prune settings are cached across records), re-runs the query through the
@@ -40,19 +43,21 @@
 #include "base/strings.h"
 #include "ldl/ldl.h"
 #include "obs/query_log.h"
+#include "obs/workload.h"
 
 namespace {
 
 struct CliOptions {
   bool check = false;
   bool verbose = false;
+  bool summary = false;
   std::string program_override;
   std::string log_file;
 };
 
 int Usage() {
   std::cerr << "usage: ldl_replay [--check] [--program FILE] [--verbose] "
-               "log.jsonl\n";
+               "[--summary] log.jsonl\n";
   return 2;
 }
 
@@ -114,6 +119,8 @@ int main(int argc, char** argv) {
       cli.check = true;
     } else if (arg == "--verbose") {
       cli.verbose = true;
+    } else if (arg == "--summary") {
+      cli.summary = true;
     } else if (arg == "--program" && i + 1 < argc) {
       cli.program_override = argv[++i];
     } else if (arg == "--help" || arg == "-h") {
@@ -231,6 +238,9 @@ int main(int argc, char** argv) {
   std::cout << "ldl_replay: " << records->size() << " records, " << matched
             << " matched, " << drifted << " drifted, " << skipped
             << " skipped, " << errors << " errors\n";
+  if (cli.summary) {
+    std::cout << "\n" << ldl::WorkloadReport::Build(*records).ToString();
+  }
   if (cli.check && (drifted != 0 || errors != 0)) return 1;
   return 0;
 }
