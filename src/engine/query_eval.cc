@@ -121,6 +121,15 @@ Result<QueryResult> EvaluateFull(const Program& program, Database* base,
   LDL_RETURN_NOT_OK(EvaluateProgram(sub, method, base, &scratch,
                                     &result.stats, fixpoint));
   result.answers = SelectMatching(scratch.Find(goal.predicate()), goal);
+  // The full bottom-up methods compute every reachable derived predicate in
+  // its entirety, so the scratch relation sizes are true all-free
+  // cardinalities — exactly what the feedback statistics catalog wants.
+  // (Magic/counting compute goal-restricted subsets and must not report.)
+  for (const PredicateId& pred : scratch.Predicates()) {
+    const Relation* rel = scratch.Find(pred);
+    result.derived_sizes.emplace_back(pred,
+                                      static_cast<uint64_t>(rel->size()));
+  }
   return result;
 }
 

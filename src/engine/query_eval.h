@@ -2,6 +2,8 @@
 #define LDLOPT_ENGINE_QUERY_EVAL_H_
 
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "ast/program.h"
 #include "base/status.h"
@@ -20,6 +22,12 @@ struct QueryResult {
   RecursionMethod method_used = RecursionMethod::kSemiNaive;
   /// Human-readable note, e.g. "counting fell back to magic (cyclic data)".
   std::string note;
+  /// Fixpoint size of every derived predicate, filled only by the full
+  /// bottom-up methods (kNaive/kSemiNaive): those compute each reachable
+  /// predicate in its entirety, so the sizes are true all-free
+  /// cardinalities. Magic/counting evaluate goal-restricted subsets whose
+  /// sizes would poison a statistics catalog, so they leave this empty.
+  std::vector<std::pair<PredicateId, uint64_t>> derived_sizes;
 };
 
 struct QueryEvalOptions {

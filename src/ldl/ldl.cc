@@ -5,6 +5,7 @@
 #include "analysis/analyzer.h"
 #include "base/strings.h"
 #include "graph/binding.h"
+#include "obs/feedback.h"
 #include "obs/search_trace.h"
 #include "optimizer/project_pushdown.h"
 #include "plan/explain.h"
@@ -94,6 +95,18 @@ Result<LdlSystem::GoalContext> LdlSystem::PrepareGoal(const Literal& goal) {
   GoalContext ctx;
   ctx.options = options_;
   LDL_ASSIGN_OR_RETURN(ctx.working, EffectiveProgram(goal));
+  if (options_.feedback && feedback_catalog_ != nullptr &&
+      ctx.options.measured == nullptr) {
+    // Feedback planning mode: cost this goal under the catalog's blended
+    // measured-over-estimated overlay. Predicates the catalog never saw
+    // are absent from the overlay, so their estimates stand untouched.
+    auto overlay = std::make_unique<MeasuredStatistics>(
+        feedback_catalog_->BlendedOverlay(stats_));
+    if (!overlay->empty()) {
+      ctx.overlay = std::move(overlay);
+      ctx.options.measured = ctx.overlay.get();
+    }
+  }
   const bool wants_analysis =
       options_.analyze_reachability || options_.eliminate_dead_rules;
   if (!wants_analysis || ctx.options.analysis != nullptr ||
@@ -166,6 +179,7 @@ Result<QueryAnswer> LdlSystem::Query(const Literal& goal) {
   QueryAnswer answer;
   bool have_plan = false;
   uint64_t rule_firings = 0;
+  std::vector<std::pair<PredicateId, uint64_t>> derived_sizes;
 
   auto run = [&]() -> Status {
     // Base-relation queries bypass optimization.
@@ -215,6 +229,7 @@ Result<QueryAnswer> LdlSystem::Query(const Literal& goal) {
     answer.answers = std::move(result->answers);
     answer.exec_stats = result->stats;
     answer.note = result->note;
+    derived_sizes = std::move(result->derived_sizes);
     rule_firings = result->stats.counters.rule_firings;
     return Status::OK();
   };
@@ -261,8 +276,46 @@ Result<QueryAnswer> LdlSystem::Query(const Literal& goal) {
     query_log_->Append(std::move(rec));
   }
 
+  // Close the loop after the record is written: the log carries the epoch
+  // the plan was made under; a drift bump here shapes the *next* query.
+  if (status.ok()) {
+    ObserveFeedback(goal, answer.answers.size(), derived_sizes);
+  }
+  if (options_.trace.metrics != nullptr) {
+    options_.trace.metrics->gauge("stats_epoch")
+        ->Set(static_cast<double>(stats_.epoch()));
+  }
+
   LDL_RETURN_NOT_OK(status);
   return answer;
+}
+
+void LdlSystem::ObserveFeedback(
+    const Literal& goal, size_t answer_rows,
+    const std::vector<std::pair<PredicateId, uint64_t>>& derived_sizes) {
+  if (feedback_catalog_ == nullptr) return;
+  const uint64_t epoch = stats_.epoch();
+  // The goal's answer count is a per-binding measurement under the goal's
+  // own adornment (for an all-free goal: the predicate's total size).
+  feedback_catalog_->Observe(goal.predicate(), Adornment::FromGoal(goal),
+                             static_cast<double>(answer_rows), epoch);
+  for (const auto& [pred, rows] : derived_sizes) {
+    feedback_catalog_->Observe(pred, Adornment::AllFree(pred.arity),
+                               static_cast<double>(rows), epoch);
+  }
+  FeedbackDriftCheck();
+}
+
+void LdlSystem::FeedbackDriftCheck() {
+  if (feedback_catalog_ == nullptr) return;
+  if (drift_detector_ != nullptr &&
+      drift_detector_->Check(*feedback_catalog_, &stats_,
+                             options_.trace.metrics) > 0) {
+    // The detector bumped the epoch: mark the statistics dirty so the next
+    // query re-collects instead of planning under the drifted generation.
+    stats_dirty_ = true;
+  }
+  feedback_catalog_->ExportTo(options_.trace.metrics);
 }
 
 Result<std::string> LdlSystem::Explain(std::string_view goal_text) {
@@ -341,6 +394,12 @@ Result<LdlSystem::AnalyzeResult> LdlSystem::AnalyzeCalibrated(
   report.set_regret(
       ComputePlanRegret(working, stats_, ctx.options, goal, plan, measured));
   report.ExportTo(options_.trace.metrics);
+  if (feedback_catalog_ != nullptr) {
+    // The analyzed run's full per-(predicate, adornment) harvest — the
+    // richest observation stream the catalog gets — then the drift gate.
+    feedback_catalog_->ObserveMeasured(measured, stats_.epoch());
+    FeedbackDriftCheck();
+  }
   StrAppend(&out, "\n", report.ToString());
 
   AnalyzeResult res;

@@ -4,6 +4,8 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 #include "ast/parser.h"
 #include "ast/program.h"
@@ -20,6 +22,8 @@
 namespace ldl {
 
 class ProgramAnalysis;
+class StatisticsCatalog;
+class DriftDetector;
 
 /// Answers plus the plan that produced them and the work it took.
 struct QueryAnswer {
@@ -96,6 +100,27 @@ class LdlSystem {
   void set_query_log(QueryLog* log) { query_log_ = log; }
   QueryLog* query_log() const { return query_log_; }
 
+  /// Attaches the feedback loop (obs/feedback.h). With a catalog attached,
+  /// every successful Query() folds its measured cardinalities in — the
+  /// goal's answer count under its binding, and for full bottom-up
+  /// evaluations every derived predicate's fixpoint size — and
+  /// AnalyzeCalibrated contributes its full per-(predicate, adornment)
+  /// harvest. With a detector attached too, each harvest is followed by a
+  /// drift check: a hot predicate whose measured cardinality diverged from
+  /// the current statistics past the q-error threshold bumps the statistics
+  /// epoch and schedules a re-collection before the next query. When
+  /// options().feedback is also set, planning consults the catalog as a
+  /// blended overlay (falling back to estimates for unseen predicates).
+  /// Both pointers are non-owning and must outlive the system or be
+  /// detached (nullptr) first.
+  void set_feedback(StatisticsCatalog* catalog,
+                    DriftDetector* detector = nullptr) {
+    feedback_catalog_ = catalog;
+    drift_detector_ = detector;
+  }
+  StatisticsCatalog* feedback_catalog() const { return feedback_catalog_; }
+  DriftDetector* drift_detector() const { return drift_detector_; }
+
   /// Optimizes the query form only (no execution).
   Result<QueryPlan> Plan(std::string_view goal_text);
   Result<QueryPlan> Plan(const Literal& goal);
@@ -165,9 +190,24 @@ class LdlSystem {
   struct GoalContext {
     Program working;
     std::unique_ptr<ProgramAnalysis> analysis;
+    /// Feedback overlay (StatisticsCatalog::BlendedOverlay) that
+    /// options.measured points into when feedback planning is on — heap
+    /// storage so the pointer survives the context being moved.
+    std::unique_ptr<MeasuredStatistics> overlay;
     OptimizerOptions options;
   };
   Result<GoalContext> PrepareGoal(const Literal& goal);
+
+  /// Post-execution half of the feedback loop: folds the measurements into
+  /// the attached catalog, runs the drift check, and mirrors the loop's
+  /// gauges (feedback.*, stats_epoch). A tripped drift marks the statistics
+  /// dirty so the next query re-collects under the bumped epoch.
+  void ObserveFeedback(const Literal& goal, size_t answer_rows,
+                       const std::vector<std::pair<PredicateId, uint64_t>>&
+                           derived_sizes);
+
+  /// Drift check + gauge mirror shared by Query and AnalyzeCalibrated.
+  void FeedbackDriftCheck();
 
   OptimizerOptions options_;
   Program program_;
@@ -175,6 +215,8 @@ class LdlSystem {
   Statistics stats_;
   bool stats_dirty_ = true;
   QueryLog* query_log_ = nullptr;
+  StatisticsCatalog* feedback_catalog_ = nullptr;
+  DriftDetector* drift_detector_ = nullptr;
 };
 
 }  // namespace ldl

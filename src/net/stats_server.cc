@@ -150,7 +150,7 @@ void StatsServer::HandleConnection(int fd) {
   } else {
     response = HttpResponse(
         404, "Not Found", "text/plain; charset=utf-8",
-        "not found; try /metrics, /healthz, or /statusz\n");
+        "not found; try /metrics, /healthz, /statusz, or /stats\n");
   }
 
   size_t sent = 0;
@@ -184,7 +184,18 @@ bool StatsServer::HandlePath(const std::string& path, std::string* body,
     *content_type = "application/json; charset=utf-8";
     return true;
   }
+  if (path == "/stats") {
+    if (options_.refresh) options_.refresh();
+    *body = RenderStats();
+    *content_type = "application/json; charset=utf-8";
+    return true;
+  }
   return false;
+}
+
+std::string StatsServer::RenderStats() {
+  return RenderStatsJson(options_.feedback, options_.drift,
+                         options_.statistics);
 }
 
 std::string StatsServer::RenderMetrics() {
@@ -214,6 +225,24 @@ std::string StatsServer::RenderStatusz() {
        << "\"build_type\":\"" << JsonEscape(info.build_type) << "\","
        << "\"git\":\"" << JsonEscape(info.git) << "\","
        << "\"sanitizer\":\"" << JsonEscape(info.sanitizer) << "\"}";
+  }
+  if (options_.statistics != nullptr) {
+    os << ",\"stats_epoch\":" << options_.statistics->epoch();
+  }
+  if (options_.drift != nullptr) {
+    char q[40];
+    std::snprintf(q, sizeof(q), "%.6g", options_.drift->last_max_q_error());
+    os << ",\"feedback\":{\"drift_events\":" << options_.drift->drift_events()
+       << ",\"last_max_q_error\":" << q;
+    if (options_.feedback != nullptr) {
+      os << ",\"catalog_entries\":" << options_.feedback->size()
+         << ",\"observations\":" << options_.feedback->total_observations();
+    }
+    os << "}";
+  } else if (options_.feedback != nullptr) {
+    os << ",\"feedback\":{\"catalog_entries\":" << options_.feedback->size()
+       << ",\"observations\":" << options_.feedback->total_observations()
+       << "}";
   }
   if (options_.sampler != nullptr) {
     os << ",\"timeseries\":";

@@ -8,10 +8,12 @@
 #include <thread>
 
 #include "base/status.h"
+#include "obs/feedback.h"
 #include "obs/metrics.h"
 #include "obs/process_metrics.h"
 #include "obs/query_log.h"
 #include "obs/timeseries.h"
+#include "storage/statistics.h"
 
 namespace ldl {
 
@@ -28,6 +30,12 @@ struct StatsServerOptions {
   QueryLog* query_log = nullptr;           ///< tail shown on /statusz
   ProcessMetricsSource* process = nullptr; ///< uptime + build info
   size_t log_tail = 8;                     ///< query-log records on /statusz
+  /// Feedback loop surfaces (/stats, plus the epoch/drift section of
+  /// /statusz). `statistics` is read for the live epoch and per-predicate
+  /// estimates; the owner must keep it alive and stable-addressed.
+  const StatisticsCatalog* feedback = nullptr;
+  const DriftDetector* drift = nullptr;
+  const Statistics* statistics = nullptr;
   /// Invoked before rendering /metrics or /statusz (refresh process gauges,
   /// flush deferred exports...). May be empty.
   std::function<void()> refresh;
@@ -38,7 +46,11 @@ struct StatsServerOptions {
 ///   GET /metrics   Prometheus text exposition v0.0.4 of the registry
 ///   GET /healthz   "ok" (liveness)
 ///   GET /statusz   JSON: uptime, build info, time-series sparkline data,
-///                  tail of the query log, request counts
+///                  tail of the query log, request counts, stats epoch +
+///                  drift counters when the feedback loop is attached
+///   GET /stats     JSON: the feedback statistics catalog — per-predicate
+///                  measured cardinality, live estimate and q-error,
+///                  coverage gaps, and the drift-event history
 ///
 /// Connections are handled one at a time on the accept thread (requests
 /// are tiny and responses are built in memory, so a scrape is microseconds
@@ -86,6 +98,7 @@ class StatsServer {
 
   std::string RenderMetrics();
   std::string RenderStatusz();
+  std::string RenderStats();
 
   StatsServerOptions options_;
   int listen_fd_ = -1;

@@ -1,0 +1,568 @@
+#include "obs/feedback.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "base/strings.h"
+#include "obs/calibration.h"
+
+namespace ldl {
+
+namespace {
+
+/// Shortest representation that parses back to the same double (%.17g is
+/// always exact; try %.15g first so common values stay readable).
+std::string RoundTripDouble(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.15g", v);
+  if (std::strtod(buf, nullptr) != v) {
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+  }
+  return buf;
+}
+
+void AppendField(std::string* out, const char* key, const std::string& v) {
+  StrAppend(out, "\"", key, "\":\"", JsonEscape(v), "\",");
+}
+void AppendField(std::string* out, const char* key, uint64_t v) {
+  StrAppend(out, "\"", key, "\":", std::to_string(v), ",");
+}
+void AppendField(std::string* out, const char* key, double v) {
+  StrAppend(out, "\"", key, "\":", RoundTripDouble(v), ",");
+}
+
+/// Minimal recursive-descent reader for the catalog export schema: one
+/// object with scalar fields plus an "entries" array of flat objects.
+class CatalogJsonParser {
+ public:
+  explicit CatalogJsonParser(const std::string& text) : text_(text) {}
+
+  Status Fail(const std::string& why) const {
+    return Status::InvalidArgument(
+        StrCat("stats catalog: ", why, " at offset ", pos_));
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool Peek(char c) {
+    SkipSpace();
+    return pos_ < text_.size() && text_[pos_] == c;
+  }
+
+  bool AtEnd() {
+    SkipSpace();
+    return pos_ >= text_.size();
+  }
+
+  Status ParseString(std::string* out) {
+    SkipSpace();
+    if (!Consume('"')) return Fail("expected '\"'");
+    out->clear();
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return Status::OK();
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'n': out->push_back('\n'); break;
+        case 't': out->push_back('\t'); break;
+        case 'r': out->push_back('\r'); break;
+        default: return Fail("unknown escape");
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  /// Raw scalar token: number / true / false, up to , } or ].
+  Status ParseScalarToken(std::string* out) {
+    SkipSpace();
+    size_t start = pos_;
+    while (pos_ < text_.size() && text_[pos_] != ',' && text_[pos_] != '}' &&
+           text_[pos_] != ']') {
+      ++pos_;
+    }
+    *out = std::string(
+        StripWhitespace(std::string_view(text_).substr(start, pos_ - start)));
+    if (out->empty()) return Fail("expected value");
+    return Status::OK();
+  }
+
+ private:
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+/// One parsed entry, pre-validation.
+struct RawEntry {
+  std::string predicate;
+  uint64_t arity = 0;
+  std::string adornment;
+  CatalogEntry entry;
+};
+
+Status ParseEntryObject(CatalogJsonParser* p, RawEntry* out) {
+  if (!p->Consume('{')) return p->Fail("expected '{' for entry");
+  if (p->Consume('}')) return Status::OK();
+  while (true) {
+    std::string key;
+    LDL_RETURN_NOT_OK(p->ParseString(&key));
+    if (!p->Consume(':')) return p->Fail("expected ':'");
+    if (p->Peek('"')) {
+      std::string value;
+      LDL_RETURN_NOT_OK(p->ParseString(&value));
+      if (key == "predicate") out->predicate = std::move(value);
+      else if (key == "adornment") out->adornment = std::move(value);
+      // else: unknown string key — ignored for forward compatibility.
+    } else {
+      std::string token;
+      LDL_RETURN_NOT_OK(p->ParseScalarToken(&token));
+      auto u64 = [&]() { return std::strtoull(token.c_str(), nullptr, 10); };
+      auto f64 = [&]() { return std::strtod(token.c_str(), nullptr); };
+      if (key == "arity") out->arity = u64();
+      else if (key == "card") out->entry.card = f64();
+      else if (key == "weight") out->entry.weight = f64();
+      else if (key == "observations") out->entry.observations = u64();
+      else if (key == "first_epoch") out->entry.first_epoch = u64();
+      else if (key == "last_epoch") out->entry.last_epoch = u64();
+      // else: unknown scalar key — ignored for forward compatibility.
+    }
+    if (p->Consume('}')) return Status::OK();
+    if (!p->Consume(',')) return p->Fail("expected ',' or '}'");
+  }
+}
+
+}  // namespace
+
+void StatisticsCatalog::Observe(const PredicateId& pred, const Adornment& adn,
+                                double card, uint64_t epoch) {
+  if (!std::isfinite(card) || card < 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  const AdornedPredicate key{pred, adn};
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    if (entries_.size() >= options_.max_entries) {
+      ++dropped_observations_;
+      return;
+    }
+    it = entries_.emplace(key, CatalogEntry{}).first;
+    it->second.first_epoch = epoch;
+  }
+  CatalogEntry& e = it->second;
+  const double aged = options_.decay * e.weight;
+  e.card = (aged * e.card + card) / (aged + 1.0);
+  e.weight = aged + 1.0;
+  e.observations += 1;
+  e.last_epoch = epoch;
+  ++total_observations_;
+}
+
+void StatisticsCatalog::ObserveMeasured(const MeasuredStatistics& measured,
+                                        uint64_t epoch) {
+  for (const auto& [key, card] : measured.Entries()) {
+    Observe(key.pred, key.adornment, card, epoch);
+  }
+}
+
+bool StatisticsCatalog::Lookup(const PredicateId& pred, const Adornment& adn,
+                               CatalogEntry* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(AdornedPredicate{pred, adn});
+  if (it == entries_.end()) return false;
+  *out = it->second;
+  return true;
+}
+
+size_t StatisticsCatalog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+uint64_t StatisticsCatalog::total_observations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_observations_;
+}
+
+uint64_t StatisticsCatalog::dropped_observations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_observations_;
+}
+
+std::vector<std::pair<AdornedPredicate, CatalogEntry>>
+StatisticsCatalog::Entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {entries_.begin(), entries_.end()};
+}
+
+MeasuredStatistics StatisticsCatalog::BlendedOverlay(
+    const Statistics& stats) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MeasuredStatistics overlay;
+  for (const auto& [key, e] : entries_) {
+    if (e.weight <= 0) continue;
+    if (key.adornment.AllArgsFree() && stats.Has(key.pred)) {
+      // A real estimate exists: ramp from it toward the measured truth as
+      // evidence accumulates, so one noisy observation cannot hijack a
+      // well-grounded catalog cardinality.
+      const double est = stats.Get(key.pred).cardinality;
+      const double blend = e.weight / (e.weight + options_.blend_weight);
+      overlay.Set(key.pred, key.adornment,
+                  blend * e.card + (1.0 - blend) * est);
+    } else if (e.weight >= options_.min_weight) {
+      // Adorned bindings and derived predicates have only the default-stats
+      // placeholder to "blend" with; the measurement is strictly better.
+      overlay.Set(key.pred, key.adornment, e.card);
+    }
+  }
+  return overlay;
+}
+
+void StatisticsCatalog::WriteJson(std::ostream& os) const {
+  os << ToJson();
+}
+
+std::string StatisticsCatalog::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{";
+  AppendField(&out, "version", static_cast<uint64_t>(1));
+  AppendField(&out, "decay", options_.decay);
+  StrAppend(&out, "\"entries\":[");
+  bool first = true;
+  for (const auto& [key, e] : entries_) {
+    if (!first) out.push_back(',');
+    first = false;
+    std::string obj = "{";
+    AppendField(&obj, "predicate", key.pred.name);
+    AppendField(&obj, "arity", static_cast<uint64_t>(key.pred.arity));
+    AppendField(&obj, "adornment", key.adornment.ToString());
+    AppendField(&obj, "card", e.card);
+    AppendField(&obj, "weight", e.weight);
+    AppendField(&obj, "observations", e.observations);
+    AppendField(&obj, "first_epoch", e.first_epoch);
+    AppendField(&obj, "last_epoch", e.last_epoch);
+    obj.back() = '}';  // replace the trailing comma
+    StrAppend(&out, obj);
+  }
+  StrAppend(&out, "]}");
+  return out;
+}
+
+Status StatisticsCatalog::MergeJson(const std::string& text) {
+  CatalogJsonParser p(text);
+  if (!p.Consume('{')) return p.Fail("expected '{'");
+  std::vector<RawEntry> raw;
+  if (!p.Consume('}')) {
+    while (true) {
+      std::string key;
+      LDL_RETURN_NOT_OK(p.ParseString(&key));
+      if (!p.Consume(':')) return p.Fail("expected ':'");
+      if (key == "entries") {
+        if (!p.Consume('[')) return p.Fail("expected '['");
+        if (!p.Consume(']')) {
+          while (true) {
+            RawEntry entry;
+            LDL_RETURN_NOT_OK(ParseEntryObject(&p, &entry));
+            raw.push_back(std::move(entry));
+            if (p.Consume(']')) break;
+            if (!p.Consume(',')) return p.Fail("expected ',' or ']'");
+          }
+        }
+      } else if (p.Peek('"')) {
+        std::string ignored;
+        LDL_RETURN_NOT_OK(p.ParseString(&ignored));
+      } else {
+        std::string token;
+        LDL_RETURN_NOT_OK(p.ParseScalarToken(&token));
+        if (key == "version") {
+          const uint64_t version = std::strtoull(token.c_str(), nullptr, 10);
+          if (version > 1) {
+            return Status::InvalidArgument(
+                StrCat("stats catalog: unsupported version ", version));
+          }
+        }
+        // "decay" and unknown scalars are informational.
+      }
+      if (p.Consume('}')) break;
+      if (!p.Consume(',')) return p.Fail("expected ',' or '}'");
+    }
+  }
+  if (!p.AtEnd()) return p.Fail("trailing content");
+
+  // Validate fully before mutating: an import either applies or doesn't.
+  std::vector<std::pair<AdornedPredicate, CatalogEntry>> parsed;
+  parsed.reserve(raw.size());
+  for (const RawEntry& r : raw) {
+    if (r.predicate.empty()) {
+      return Status::InvalidArgument("stats catalog: entry without predicate");
+    }
+    LDL_ASSIGN_OR_RETURN(Adornment adn, Adornment::FromString(r.adornment));
+    if (adn.size() != r.arity) {
+      return Status::InvalidArgument(
+          StrCat("stats catalog: ", r.predicate, "/", r.arity,
+                 ": adornment \"", r.adornment, "\" does not match arity"));
+    }
+    if (!std::isfinite(r.entry.card) || r.entry.card < 0 ||
+        !std::isfinite(r.entry.weight) || r.entry.weight < 0) {
+      return Status::InvalidArgument(
+          StrCat("stats catalog: ", r.predicate, "/", r.arity,
+                 ": non-finite or negative card/weight"));
+    }
+    parsed.emplace_back(
+        AdornedPredicate{PredicateId{r.predicate, r.arity}, adn}, r.entry);
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [key, imported] : parsed) {
+    auto it = entries_.find(key);
+    if (it == entries_.end()) {
+      if (entries_.size() >= options_.max_entries) {
+        ++dropped_observations_;
+        continue;
+      }
+      entries_.emplace(key, imported);
+      total_observations_ += imported.observations;
+      continue;
+    }
+    // Merge into an existing stream: the resident weight ages one decay
+    // step, then the imported evidence folds in at its own weight — an
+    // import into an empty slot is an exact copy.
+    CatalogEntry& e = it->second;
+    const double aged = options_.decay * e.weight;
+    const double total = aged + imported.weight;
+    if (total > 0) {
+      e.card = (aged * e.card + imported.weight * imported.card) / total;
+    }
+    e.weight = total;
+    e.observations += imported.observations;
+    e.first_epoch = std::min(e.first_epoch, imported.first_epoch);
+    e.last_epoch = std::max(e.last_epoch, imported.last_epoch);
+    total_observations_ += imported.observations;
+  }
+  return Status::OK();
+}
+
+Status StatisticsCatalog::ExportFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::InvalidArgument(
+        StrCat("cannot write stats catalog: ", path));
+  }
+  out << ToJson() << "\n";
+  return Status::OK();
+}
+
+Status StatisticsCatalog::ImportFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound(StrCat("cannot read stats catalog: ", path));
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return MergeJson(buffer.str());
+}
+
+void StatisticsCatalog::ExportTo(MetricsRegistry* metrics) const {
+  if (metrics == nullptr) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  metrics->gauge("feedback.catalog_entries")
+      ->Set(static_cast<double>(entries_.size()));
+  metrics->gauge("feedback.observations")
+      ->Set(static_cast<double>(total_observations_));
+  metrics->gauge("feedback.dropped_observations")
+      ->Set(static_cast<double>(dropped_observations_));
+}
+
+size_t DriftDetector::Check(const StatisticsCatalog& catalog,
+                            Statistics* stats, MetricsRegistry* metrics) {
+  if (stats == nullptr) return 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  double max_q = 1.0;
+  std::vector<DriftEvent> tripped;
+  for (const auto& [key, e] : catalog.Entries()) {
+    // Only hot all-free entries of predicates with *real* statistics can
+    // drift: everything else costs through the default-stats placeholder,
+    // which is not an estimate the epoch should churn over.
+    if (!key.adornment.AllArgsFree()) continue;
+    if (e.observations < options_.hot_observations) continue;
+    if (!stats->Has(key.pred)) continue;
+    const double est = stats->Get(key.pred).cardinality;
+    const double q = QError(est, e.card);
+    if (q > max_q) max_q = q;
+    if (q < options_.drift_q_threshold) continue;
+    auto it = tripped_epoch_.find(key);
+    if (it != tripped_epoch_.end() && it->second == stats->epoch()) {
+      continue;  // already reported against this statistics generation
+    }
+    DriftEvent event;
+    event.key = key;
+    event.measured = e.card;
+    event.estimated = est;
+    event.q_error = q;
+    event.old_epoch = stats->epoch();
+    tripped.push_back(event);
+  }
+  last_max_q_ = max_q;
+  if (metrics != nullptr) {
+    metrics->gauge("feedback.max_q_error")->Set(max_q);
+  }
+  if (tripped.empty()) return 0;
+
+  // One epoch bump per detection, however many keys diverged: the epoch
+  // numbers statistics generations, not individual divergences.
+  const uint64_t new_epoch = stats->epoch() + 1;
+  stats->set_epoch(new_epoch);
+  for (DriftEvent& event : tripped) {
+    event.new_epoch = new_epoch;
+    tripped_epoch_[event.key] = new_epoch;
+    history_.push_back(event);
+  }
+  if (history_.size() > kMaxHistory) {
+    history_.erase(history_.begin(),
+                   history_.begin() +
+                       static_cast<std::ptrdiff_t>(history_.size() -
+                                                   kMaxHistory));
+  }
+  drift_events_ += tripped.size();
+  if (metrics != nullptr) {
+    metrics->counter("feedback.drift_events")
+        ->Increment(static_cast<uint64_t>(tripped.size()));
+  }
+  return tripped.size();
+}
+
+uint64_t DriftDetector::drift_events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return drift_events_;
+}
+
+double DriftDetector::last_max_q_error() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_max_q_;
+}
+
+std::vector<DriftEvent> DriftDetector::history() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return history_;
+}
+
+std::string RenderStatsJson(const StatisticsCatalog* catalog,
+                            const DriftDetector* drift,
+                            const Statistics* stats) {
+  std::string out = "{";
+  if (stats != nullptr) {
+    AppendField(&out, "stats_epoch", stats->epoch());
+  }
+  if (drift != nullptr) {
+    AppendField(&out, "drift_events", drift->drift_events());
+    AppendField(&out, "last_max_q_error", drift->last_max_q_error());
+  }
+  if (catalog != nullptr) {
+    StrAppend(&out, "\"catalog\":{");
+    AppendField(&out, "entries", static_cast<uint64_t>(catalog->size()));
+    AppendField(&out, "observations", catalog->total_observations());
+    AppendField(&out, "dropped_observations",
+                catalog->dropped_observations());
+    AppendField(&out, "decay", catalog->options().decay);
+    AppendField(&out, "drift_q_threshold",
+                catalog->options().drift_q_threshold);
+    out.back() = '}';
+    StrAppend(&out, ",\"entries\":[");
+    bool first = true;
+    for (const auto& [key, e] : catalog->Entries()) {
+      if (!first) out.push_back(',');
+      first = false;
+      std::string obj = "{";
+      AppendField(&obj, "predicate", key.pred.name);
+      AppendField(&obj, "arity", static_cast<uint64_t>(key.pred.arity));
+      AppendField(&obj, "adornment", key.adornment.ToString());
+      AppendField(&obj, "card", e.card);
+      AppendField(&obj, "weight", e.weight);
+      AppendField(&obj, "observations", e.observations);
+      AppendField(&obj, "first_epoch", e.first_epoch);
+      AppendField(&obj, "last_epoch", e.last_epoch);
+      if (stats != nullptr && key.adornment.AllArgsFree() &&
+          stats->Has(key.pred)) {
+        const double est = stats->Get(key.pred).cardinality;
+        AppendField(&obj, "estimate", est);
+        AppendField(&obj, "q_error", QError(est, e.card));
+      }
+      obj.back() = '}';
+      StrAppend(&out, obj);
+    }
+    StrAppend(&out, "],");
+    if (stats != nullptr) {
+      // Coverage gaps: predicates the statistics know that no query has
+      // measured yet — the operator's "what is still flying blind" list.
+      StrAppend(&out, "\"unobserved\":[");
+      first = true;
+      for (const PredicateId& pred : stats->Predicates()) {
+        CatalogEntry ignored;
+        if (catalog->Lookup(pred, Adornment::AllFree(pred.arity), &ignored)) {
+          continue;
+        }
+        if (!first) out.push_back(',');
+        first = false;
+        std::string obj = "{";
+        AppendField(&obj, "predicate", pred.name);
+        AppendField(&obj, "arity", static_cast<uint64_t>(pred.arity));
+        AppendField(&obj, "cardinality", stats->Get(pred).cardinality);
+        obj.back() = '}';
+        StrAppend(&out, obj);
+      }
+      StrAppend(&out, "],");
+    }
+  }
+  if (drift != nullptr) {
+    StrAppend(&out, "\"drift_history\":[");
+    bool first = true;
+    for (const DriftEvent& event : drift->history()) {
+      if (!first) out.push_back(',');
+      first = false;
+      std::string obj = "{";
+      AppendField(&obj, "predicate", event.key.pred.name);
+      AppendField(&obj, "arity",
+                  static_cast<uint64_t>(event.key.pred.arity));
+      AppendField(&obj, "adornment", event.key.adornment.ToString());
+      AppendField(&obj, "measured", event.measured);
+      AppendField(&obj, "estimated", event.estimated);
+      AppendField(&obj, "q_error", event.q_error);
+      AppendField(&obj, "old_epoch", event.old_epoch);
+      AppendField(&obj, "new_epoch", event.new_epoch);
+      obj.back() = '}';
+      StrAppend(&out, obj);
+    }
+    StrAppend(&out, "],");
+  }
+  if (out.back() == ',') out.pop_back();
+  StrAppend(&out, "}");
+  if (out == "{}") return "{}";
+  return out;
+}
+
+}  // namespace ldl

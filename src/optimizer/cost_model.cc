@@ -66,6 +66,15 @@ void MeasuredStatistics::AdjustBaseItem(ConjunctItem* item) const {
   };
 }
 
+std::vector<std::pair<AdornedPredicate, double>> MeasuredStatistics::Entries()
+    const {
+  std::vector<std::pair<AdornedPredicate, double>> out(cards_.begin(),
+                                                       cards_.end());
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
 std::string MeasuredStatistics::ToString() const {
   // Sorted for deterministic output.
   std::map<std::string, double> sorted;

@@ -127,6 +127,10 @@ class MeasuredStatistics {
   bool empty() const { return cards_.empty(); }
   size_t size() const { return cards_.size(); }
 
+  /// Sorted snapshot of every (key, cardinality) pair — the iteration
+  /// surface the feedback statistics catalog (obs/feedback.h) ingests.
+  std::vector<std::pair<AdornedPredicate, double>> Entries() const;
+
   /// Injects the measured truth into a catalog-backed base item: the
   /// all-free measured size replaces base_cardinality (and caps the
   /// per-column distinct counts, since distinct <= cardinality), and the

@@ -119,6 +119,15 @@ struct OptimizerOptions {
   /// analysis/analyzer.h for the answer-preservation argument.
   bool eliminate_dead_rules = false;
 
+  /// LdlSystem-level switch: feedback planning mode. When a feedback
+  /// statistics catalog is attached (LdlSystem::set_feedback), each
+  /// Plan/Query consults it as a blended measured-over-estimated overlay
+  /// (StatisticsCatalog::BlendedOverlay -> `measured`); predicates the
+  /// catalog never observed keep their catalog estimates. Ignored by the
+  /// Optimizer itself (it only reads `measured`), and inert when an
+  /// explicit `measured` overlay is already set.
+  bool feedback = false;
+
   /// Goal-directed static analysis consulted during the search: candidate
   /// (predicate, adornment) pairs outside its reachable set are answered
   /// with a shallow unmemoized subplan (disposition pruned-unreachable)

@@ -44,6 +44,14 @@ void Statistics::Set(const PredicateId& pred, RelationStats stats) {
   stats_[pred] = std::move(stats);
 }
 
+std::vector<PredicateId> Statistics::Predicates() const {
+  std::vector<PredicateId> out;
+  out.reserve(stats_.size());
+  for (const auto& [pred, rs] : stats_) out.push_back(pred);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
 const RelationStats& Statistics::Get(const PredicateId& pred) const {
   auto it = stats_.find(pred);
   return it == stats_.end() ? default_stats_ : it->second;

@@ -47,6 +47,10 @@ class Statistics {
 
   bool Has(const PredicateId& pred) const { return stats_.count(pred) > 0; }
 
+  /// Every predicate with registered stats, sorted (stable enumeration for
+  /// exports and the /stats coverage listing).
+  std::vector<PredicateId> Predicates() const;
+
   /// Stats assumed for predicates we know nothing about (derived predicates
   /// before estimation, missing relations).
   const RelationStats& default_stats() const { return default_stats_; }

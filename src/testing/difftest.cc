@@ -8,6 +8,7 @@
 #include "base/strings.h"
 #include "engine/query_eval.h"
 #include "ldl/ldl.h"
+#include "obs/feedback.h"
 #include "plan/interpreter.h"
 #include "plan/processing_tree.h"
 #include "storage/statistics.h"
@@ -358,6 +359,22 @@ DiffOutcome RunDifferential(const GeneratedProgram& prog,
         analyzed.verify_plans = true;
         RecordAnswers(&h, &out, "opt:analysis",
                       EvalOptimized(&sys, prog.query, analyzed));
+      }
+      // Feedback planning mode: warm the catalog with one observed pass,
+      // then re-plan under the blended measured overlay. A different plan
+      // is fine (often the point); different answers are a bug.
+      if (options.run_feedback) {
+        StatisticsCatalog catalog;
+        DriftDetector detector;
+        sys.set_feedback(&catalog, &detector);
+        OptimizerOptions warm;
+        (void)EvalOptimized(&sys, prog.query, warm);
+        OptimizerOptions fed;
+        fed.feedback = true;
+        fed.verify_plans = true;
+        RecordAnswers(&h, &out, "opt:feedback",
+                      EvalOptimized(&sys, prog.query, fed));
+        sys.set_feedback(nullptr, nullptr);
       }
     }
   }

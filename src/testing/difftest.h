@@ -55,6 +55,14 @@ struct DiffTestOptions {
   /// adornment-reachability pruning) and plan verification. Proves the
   /// analyses answer-preserving over the generated corpus.
   bool run_analysis_pruned = true;
+  /// Adds an "opt:feedback" configuration: a warm pass under default
+  /// options populates a feedback statistics catalog (goal answer counts +
+  /// derived fixpoint sizes), then the query re-plans in feedback mode —
+  /// the cost model consulting the catalog's blended
+  /// measured-over-estimated overlay — with plan verification on. The
+  /// overlay may change the chosen plan; the answers must not change
+  /// (obs/feedback.h).
+  bool run_feedback = true;
   /// Fault injected into a shadow configuration ("fault:..."): the shadow
   /// evaluates the mutated program and must be flagged as a mismatch —
   /// end-to-end proof the oracle can see and the shrinker can minimize.

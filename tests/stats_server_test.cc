@@ -15,8 +15,10 @@
 #include <string>
 #include <thread>
 
+#include "ast/parser.h"
 #include "ldl/ldl.h"
 #include "net/stats_server.h"
+#include "obs/feedback.h"
 #include "obs/metrics.h"
 #include "obs/process_metrics.h"
 #include "obs/timeseries.h"
@@ -205,6 +207,59 @@ TEST(StatsServerTest, StopIsIdempotentAndRestartable) {
     EXPECT_EQ(second.port(), port);
     second.Stop();
   }  // destructor Stop on an already-stopped server is a no-op
+}
+
+// The feedback surfaces: /stats renders the catalog + drift view, /statusz
+// gains the stats epoch and a feedback summary block.
+TEST(StatsServerTest, ServesFeedbackCatalogOnStatsRoute) {
+  Statistics stats;
+  stats.Set(ParseLiteral("par(X, Y)")->predicate(),
+            RelationStats{10, {10, 10}});
+  stats.set_epoch(1);
+  StatisticsCatalog catalog;
+  catalog.Observe(ParseLiteral("par(X, Y)")->predicate(),
+                  Adornment::AllFree(2), 1000, 1);
+  DriftDetector detector;
+  detector.Check(catalog, &stats, nullptr);
+
+  StatsServerOptions options;
+  options.port = 0;
+  options.feedback = &catalog;
+  options.drift = &detector;
+  options.statistics = &stats;
+  StatsServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+
+  const std::string response = HttpGet(server.port(), "/stats");
+  EXPECT_NE(response.find("200 OK"), std::string::npos);
+  EXPECT_NE(response.find("application/json"), std::string::npos);
+  const std::string body = Body(response);
+  EXPECT_NE(body.find("\"stats_epoch\":2"), std::string::npos) << body;
+  EXPECT_NE(body.find("\"drift_events\":1"), std::string::npos) << body;
+  EXPECT_NE(body.find("\"predicate\":\"par\""), std::string::npos) << body;
+  EXPECT_NE(body.find("\"drift_history\":["), std::string::npos) << body;
+
+  const std::string statusz = Body(HttpGet(server.port(), "/statusz"));
+  EXPECT_NE(statusz.find("\"stats_epoch\":2"), std::string::npos) << statusz;
+  EXPECT_NE(statusz.find("\"feedback\":{\"drift_events\":1"),
+            std::string::npos)
+      << statusz;
+  EXPECT_NE(statusz.find("\"catalog_entries\":1"), std::string::npos)
+      << statusz;
+  server.Stop();
+}
+
+// Without the feedback pointers the new route still answers (empty JSON
+// object) rather than 404ing: dashboards can probe unconditionally.
+TEST(StatsServerTest, StatsRouteDegradesGracefullyWithoutFeedback) {
+  StatsServerOptions options;
+  options.port = 0;
+  StatsServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+  const std::string response = HttpGet(server.port(), "/stats");
+  EXPECT_NE(response.find("200 OK"), std::string::npos);
+  EXPECT_EQ(Body(response), "{}");
+  server.Stop();
 }
 
 }  // namespace

@@ -15,6 +15,9 @@
 //                        pre-optimization: dead-rule elimination +
 //                        adornment-reachability pruning) and the injection
 //                        of statically dead clauses into generated programs
+//   --no-feedback        skip the opt:feedback configuration (planning
+//                        under the blended measured-statistics overlay a
+//                        warm pass accumulated; see obs/feedback.h)
 //   --repro-dir DIR      where repro-*.ldl files are written (default ".")
 //   --max-shrink-evals N shrinker budget per failure (default 2000)
 //   --skip N             generate and discard the first N programs per seed
@@ -51,7 +54,8 @@ int Usage() {
       "usage: ldl_difftest [--seed S|A..B]... [--iters N] [--shape SHAPE]\n"
       "                    [--methods naive,magic,counting] [--no-tree]\n"
       "                    [--no-metamorphic] [--no-analysis] "
-      "[--repro-dir DIR]\n"
+      "[--no-feedback]\n"
+      "                    [--repro-dir DIR]\n"
       "                    [--max-shrink-evals N] [--inject-fault] "
       "[--verbose]\n");
   return 2;
@@ -161,6 +165,8 @@ int main(int argc, char** argv) {
       options.run_metamorphic = false;
     } else if (arg == "--no-analysis") {
       no_analysis = true;
+    } else if (arg == "--no-feedback") {
+      options.run_feedback = false;
     } else if (arg == "--repro-dir" && i + 1 < argc) {
       repro_dir = argv[++i];
     } else if (arg == "--max-shrink-evals" && i + 1 < argc) {

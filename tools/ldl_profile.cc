@@ -41,10 +41,23 @@
 //                        lifecycle path and append one structured JSONL
 //                        record per query (replayable with ldl_replay).
 //   --stats-port N       serve GET /metrics (Prometheus text exposition),
-//                        /healthz, and /statusz on 127.0.0.1:N for the
-//                        lifetime of the run; N=0 binds an ephemeral port.
-//                        The bound port is printed on stdout. Starts the
-//                        time-series sampler feeding /statusz sparklines.
+//                        /healthz, /statusz, and /stats on 127.0.0.1:N for
+//                        the lifetime of the run; N=0 binds an ephemeral
+//                        port. The bound port is printed on stdout. Starts
+//                        the time-series sampler feeding /statusz
+//                        sparklines.
+//   --feedback           plan in feedback mode: execute each query, fold
+//                        its measured cardinalities into a statistics
+//                        catalog, and let the cost model consult the
+//                        catalog as a blended measured-over-estimated
+//                        overlay. Runs the drift detector after every
+//                        harvest. Prints a `feedback:` summary line.
+//   --stats-export FILE  write the feedback statistics catalog as JSON
+//                        after the run (implies the feedback loop, not
+//                        feedback planning).
+//   --stats-import FILE  seed the feedback statistics catalog from a
+//                        previously exported JSON file before the run
+//                        (decay-merged into anything already harvested).
 //   --sample-ms X        time-series sampling period (default 200).
 //   --repeat K           execute the query set K times (EXPLAIN output is
 //                        printed once); keeps a --stats-port run alive and
@@ -63,6 +76,7 @@
 #include "ldl/ldl.h"
 #include "net/stats_server.h"
 #include "obs/context.h"
+#include "obs/feedback.h"
 #include "obs/metrics.h"
 #include "obs/process_metrics.h"
 #include "obs/search_trace.h"
@@ -82,6 +96,9 @@ struct CliOptions {
   int stats_port = -1;  ///< -1 = no server; 0 = ephemeral
   int sample_ms = 200;
   int repeat = 1;
+  bool feedback = false;
+  std::string stats_export;
+  std::string stats_import;
   std::string query_log;
   std::string trace_json;
   std::string metrics_json;
@@ -101,7 +118,8 @@ int Usage() {
                "[--fixpoint-json FILE] [--dot FILE] [--prune] "
                "[--budget-bytes N] [--budget-tuples N] [--deadline-ms X] "
                "[--query-log FILE] [--stats-port N] [--sample-ms X] "
-               "[--repeat K] file.ldl | -\n";
+               "[--repeat K] [--feedback] [--stats-export FILE] "
+               "[--stats-import FILE] file.ldl | -\n";
   return 2;
 }
 
@@ -162,6 +180,12 @@ int main(int argc, char** argv) {
       cli.sample_ms = std::stoi(argv[++i]);
     } else if (arg == "--repeat" && i + 1 < argc) {
       cli.repeat = std::stoi(argv[++i]);
+    } else if (arg == "--feedback") {
+      cli.feedback = true;
+    } else if (arg == "--stats-export" && i + 1 < argc) {
+      cli.stats_export = argv[++i];
+    } else if (arg == "--stats-import" && i + 1 < argc) {
+      cli.stats_import = argv[++i];
     } else if (arg == "--help" || arg == "-h") {
       Usage();
       return 0;
@@ -211,8 +235,24 @@ int main(int argc, char** argv) {
   options.limits.budget_bytes = cli.budget_bytes;
   options.limits.budget_tuples = cli.budget_tuples;
   options.limits.deadline_ms = cli.deadline_ms;
+  const bool use_feedback = cli.feedback || !cli.stats_export.empty() ||
+                            !cli.stats_import.empty();
+  options.feedback = cli.feedback;
 
   ldl::LdlSystem sys(options);
+  ldl::StatisticsCatalog catalog;
+  ldl::DriftDetector detector;
+  if (use_feedback) {
+    sys.set_feedback(&catalog, &detector);
+    if (!cli.stats_import.empty()) {
+      ldl::Status imported = catalog.ImportFile(cli.stats_import);
+      if (!imported.ok()) {
+        std::cerr << "ldl_profile: " << cli.stats_import << ": "
+                  << imported.ToString() << "\n";
+        return 1;
+      }
+    }
+  }
   ldl::QueryLog query_log;
   if (!cli.query_log.empty()) {
     ldl::Status opened = query_log.Open(cli.query_log);
@@ -255,6 +295,11 @@ int main(int argc, char** argv) {
   server_options.process = &process_metrics;
   server_options.refresh = [&process_metrics] { process_metrics.Refresh(); };
   if (!cli.query_log.empty()) server_options.query_log = &query_log;
+  server_options.statistics = &sys.statistics();
+  if (use_feedback) {
+    server_options.feedback = &catalog;
+    server_options.drift = &detector;
+  }
   ldl::StatsServer server(server_options);
   if (cli.stats_port >= 0) {
     sampler.Start();
@@ -275,7 +320,7 @@ int main(int argc, char** argv) {
   const bool execute_queries = !cli.fixpoint_json.empty() ||
                                !cli.query_log.empty() ||
                                options.limits.any() || cli.repeat > 1 ||
-                               cli.stats_port >= 0;
+                               cli.stats_port >= 0 || use_feedback;
   for (int rep = 0; rep < cli.repeat; ++rep) {
     // Only the first pass prints; later passes re-execute the queries so a
     // --stats-port scrape sees a live, moving workload.
@@ -373,6 +418,24 @@ int main(int argc, char** argv) {
     sampler.SampleOnce();
     server.Stop();
     sampler.Stop();
+  }
+
+  if (use_feedback) {
+    // One greppable line for CI and operators; the full catalog goes to
+    // --stats-export.
+    std::cout << "feedback: entries=" << catalog.size()
+              << " observations=" << catalog.total_observations()
+              << " drift_events=" << detector.drift_events()
+              << " stats_epoch=" << sys.statistics().epoch() << "\n";
+    if (!cli.stats_export.empty()) {
+      ldl::Status exported = catalog.ExportFile(cli.stats_export);
+      if (!exported.ok()) {
+        std::cerr << "ldl_profile: " << cli.stats_export << ": "
+                  << exported.ToString() << "\n";
+        return 1;
+      }
+    }
+    sys.set_feedback(nullptr, nullptr);
   }
 
   if (!cli.calibration_json.empty()) {

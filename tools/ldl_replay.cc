@@ -27,7 +27,12 @@
 // with DeadlineExceeded or Cancelled are therefore skipped (reported, and
 // never counted as drift). Resource-profile deviations (peak bytes, tuples
 // examined) are reported as informational ratios, not drift: they shift
-// legitimately when storage layout changes.
+// legitimately when storage layout changes. A statistics-epoch mismatch is
+// likewise informational: the replayed system collects its own statistics
+// (epoch restarts at 1), and feedback-driven drift bumps are workload
+// history, not a reproducibility defect — but a mismatch tells the reader
+// the original plan was chosen under different statistics, so it is
+// printed and tallied separately.
 //
 // Exit status: 0 success, 1 drift or replay error (with --check), 2 usage.
 
@@ -149,6 +154,7 @@ int main(int argc, char** argv) {
   size_t drifted = 0;
   size_t skipped = 0;
   size_t errors = 0;
+  size_t epoch_mismatches = 0;
   for (size_t i = 0; i < records->size(); ++i) {
     const ldl::QueryLogRecord& rec = (*records)[i];
     const std::string tag =
@@ -218,11 +224,18 @@ int main(int argc, char** argv) {
                                   now.answer_fingerprint));
     }
 
+    const bool epoch_mismatch = now.stats_epoch != rec.stats_epoch;
+    if (epoch_mismatch) ++epoch_mismatches;
+
     if (!drift.empty()) {
       ++drifted;
       std::cout << tag << ": DRIFT";
       for (const std::string& d : drift) std::cout << " [" << d << "]";
       std::cout << "\n";
+    } else if (epoch_mismatch) {
+      ++matched;
+      std::cout << tag << ": OK (stats epoch " << rec.stats_epoch << " -> "
+                << now.stats_epoch << ", informational)\n";
     } else {
       ++matched;
       if (cli.verbose) {
@@ -237,7 +250,12 @@ int main(int argc, char** argv) {
 
   std::cout << "ldl_replay: " << records->size() << " records, " << matched
             << " matched, " << drifted << " drifted, " << skipped
-            << " skipped, " << errors << " errors\n";
+            << " skipped, " << errors << " errors";
+  if (epoch_mismatches != 0) {
+    std::cout << ", " << epoch_mismatches
+              << " stats-epoch mismatches (informational)";
+  }
+  std::cout << "\n";
   if (cli.summary) {
     std::cout << "\n" << ldl::WorkloadReport::Build(*records).ToString();
   }
