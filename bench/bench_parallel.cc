@@ -1,0 +1,197 @@
+// Experiment E18 — the hash-partitioned parallel semi-naive engine
+// (engine/parallel.h, DESIGN.md §16). Heavy recursion shapes (big deltas
+// per round, join-dominated work) are the favorable case for partitioned
+// rounds; we sweep num_threads over {1, 2, 4} and report wall-clock,
+// speedup over the 1-thread parallel configuration, and the num_threads=1
+// overhead against the untouched sequential code path (which must stay
+// within noise — the default configuration takes the sequential branch,
+// so the overhead of the parallel machinery is only paid when asked for).
+//
+// Answers are asserted identical across every configuration before a row
+// is reported: a speedup on wrong answers is not a speedup.
+//
+// NOTE on machine dependence: speedup columns are meaningful only on
+// multi-core hardware. The committed baseline records the shape of the
+// numbers on the machine that produced it (see bench/baselines/); on a
+// single-core host all thread counts collapse to ~1x, which is itself the
+// interesting sanity check (the machinery must not make things slower).
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ast/parser.h"
+#include "bench_util.h"
+#include "engine/query_eval.h"
+#include "testing/workloads.h"
+
+namespace ldl {
+namespace {
+
+using bench::Fmt;
+using bench::Stopwatch;
+using bench::Table;
+
+constexpr const char* kSgRules = R"(
+  sg(X, Y) <- flat(X, Y).
+  sg(X, Y) <- up(X, X1), sg(X1, Y1), dn(Y1, Y).
+)";
+
+constexpr const char* kAncRules = R"(
+  anc(X, Y) <- par(X, Y).
+  anc(X, Y) <- par(X, Z), anc(Z, Y).
+)";
+
+constexpr const char* kTcRules = R"(
+  tc(X, Y) <- edge(X, Y).
+  tc(X, Y) <- edge(X, Z), tc(Z, Y).
+)";
+
+struct Shape {
+  std::string name;
+  Program program;
+  Database db;
+  Literal goal;
+};
+
+std::vector<Shape> MakeShapes() {
+  std::vector<Shape> shapes;
+  {
+    Shape s;
+    s.name = "sg.ff f=3 d=5";
+    s.program = *ParseProgram(kSgRules);
+    testing::MakeSameGenerationData(3, 5, &s.db);
+    s.goal = Literal::Make(
+        "sg", {Term::MakeVariable("X"), Term::MakeVariable("Y")});
+    shapes.push_back(std::move(s));
+  }
+  {
+    Shape s;
+    s.name = "sg.ff f=4 d=4";
+    s.program = *ParseProgram(kSgRules);
+    testing::MakeSameGenerationData(4, 4, &s.db);
+    s.goal = Literal::Make(
+        "sg", {Term::MakeVariable("X"), Term::MakeVariable("Y")});
+    shapes.push_back(std::move(s));
+  }
+  {
+    Shape s;
+    s.name = "anc.ff f=3 d=7";
+    s.program = *ParseProgram(kAncRules);
+    testing::MakeTreeParentData(3, 7, &s.db);
+    s.goal = Literal::Make(
+        "anc", {Term::MakeVariable("X"), Term::MakeVariable("Y")});
+    shapes.push_back(std::move(s));
+  }
+  {
+    Shape s;
+    s.name = "tc.dag n=400 deg=3";
+    s.program = *ParseProgram(kTcRules);
+    testing::MakeRandomDag(400, 3, 18, &s.db);
+    s.goal = Literal::Make(
+        "tc", {Term::MakeVariable("X"), Term::MakeVariable("Y")});
+    shapes.push_back(std::move(s));
+  }
+  return shapes;
+}
+
+double MedianMs(const Program& program, Database* db, const Literal& goal,
+                const QueryEvalOptions& options, size_t reps,
+                std::string* fingerprint) {
+  std::vector<double> times;
+  for (size_t r = 0; r < reps; ++r) {
+    Stopwatch watch;
+    auto result =
+        EvaluateQuery(program, db, goal, RecursionMethod::kSemiNaive, options);
+    double ms = watch.ElapsedMs();
+    if (!result.ok()) {
+      *fingerprint = "ERROR " + result.status().ToString();
+      return -1;
+    }
+    std::string fp = AnswerFingerprint(result->answers);
+    if (fingerprint->empty()) {
+      *fingerprint = fp;
+    } else if (*fingerprint != fp) {
+      *fingerprint = "MISMATCH";
+      return -1;
+    }
+    times.push_back(ms);
+  }
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+}  // namespace
+
+void PrintExperiment() {
+  bench::Banner("E18", "hash-partitioned parallel semi-naive: speedup and "
+                       "1-thread overhead on heavy recursion shapes");
+  Table table({"workload", "answers", "seq ms", "par1 ms", "ovh%", "par2 ms",
+               "x2", "par4 ms", "x4", "agree"});
+  const size_t reps = 5;
+  for (Shape& shape : MakeShapes()) {
+    std::string ref_fp;
+    QueryEvalOptions seq;
+    double seq_ms =
+        MedianMs(shape.program, &shape.db, shape.goal, seq, reps, &ref_fp);
+    std::string rows = "-";
+    {
+      auto result = EvaluateQuery(shape.program, &shape.db, shape.goal,
+                                  RecursionMethod::kSemiNaive, seq);
+      if (result.ok()) rows = std::to_string(result->answers.size());
+    }
+    bool agree = true;
+    auto par_ms = [&](size_t threads) {
+      QueryEvalOptions options;
+      options.fixpoint.engine.num_threads = threads;
+      std::string fp = ref_fp;  // must reproduce the sequential fingerprint
+      double ms = MedianMs(shape.program, &shape.db, shape.goal, options,
+                           reps, &fp);
+      if (fp != ref_fp) agree = false;
+      return ms;
+    };
+    double p1 = par_ms(1);
+    double p2 = par_ms(2);
+    double p4 = par_ms(4);
+    table.AddRow(
+        {shape.name, rows, Fmt(seq_ms, "%.2f"), Fmt(p1, "%.2f"),
+         Fmt(seq_ms > 0 ? 100.0 * (p1 - seq_ms) / seq_ms : 0, "%+.1f"),
+         Fmt(p2, "%.2f"), Fmt(p2 > 0 ? p1 / p2 : 0, "%.2f"),
+         Fmt(p4, "%.2f"), Fmt(p4 > 0 ? p1 / p4 : 0, "%.2f"),
+         agree ? "yes" : "NO"});
+  }
+  table.Print();
+}
+
+namespace {
+
+void BM_ParallelSg(benchmark::State& state) {
+  auto threads = static_cast<size_t>(state.range(0));
+  auto program = ParseProgram(kSgRules);
+  Database db;
+  testing::MakeSameGenerationData(3, 5, &db);
+  Literal goal =
+      Literal::Make("sg", {Term::MakeVariable("X"), Term::MakeVariable("Y")});
+  QueryEvalOptions options;
+  options.fixpoint.engine.num_threads = threads;
+  for (auto _ : state) {
+    auto result = EvaluateQuery(*program, &db, goal,
+                                RecursionMethod::kSemiNaive, options);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetLabel("threads=" + std::to_string(threads));
+}
+BENCHMARK(BM_ParallelSg)->Arg(1)->Arg(2)->Arg(4);
+
+}  // namespace
+}  // namespace ldl
+
+int main(int argc, char** argv) {
+  ldl::PrintExperiment();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  ldl::bench::FlushJson("parallel");
+  return 0;
+}

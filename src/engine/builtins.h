@@ -8,6 +8,17 @@
 
 namespace ldl {
 
+// Reentrancy contract: every function in this header is a pure function of
+// its arguments plus the passed-in Substitution — no mutable static or
+// global state (audited; the only function-local statics in the evaluation
+// stack are immutable empty-collection singletons with thread-safe
+// initialization, in term.cc and relation.cc). Parallel fixpoint workers
+// and concurrently evaluating LdlSystem instances may therefore call these
+// from any number of threads, as long as each Substitution is
+// thread-private (they always are: one per RuleEvaluator, which is one per
+// task). Pinned by tests/parallel_engine_test.cc's concurrent-systems TSan
+// case.
+
 /// Outcome of attempting one builtin literal under a substitution.
 enum class BuiltinOutcome {
   kSatisfied,      ///< test passed / assignment made (subst may be extended)

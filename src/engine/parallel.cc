@@ -1,0 +1,135 @@
+#include "engine/parallel.h"
+
+#include <algorithm>
+#include <set>
+#include <string>
+
+namespace ldl {
+
+WorkerPool::WorkerPool(size_t num_threads) {
+  size_t extra = num_threads > 1 ? num_threads - 1 : 0;
+  threads_.reserve(extra);
+  for (size_t i = 0; i < extra; ++i) {
+    threads_.emplace_back([this, i] { WorkerLoop(i + 1); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void WorkerPool::Run(size_t num_tasks,
+                     const std::function<void(size_t, size_t)>& fn) {
+  if (num_tasks == 0) return;
+  if (threads_.empty() || num_tasks == 1) {
+    for (size_t t = 0; t < num_tasks; ++t) fn(t, 0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    fn_ = &fn;
+    num_tasks_ = num_tasks;
+    next_task_.store(0, std::memory_order_relaxed);
+    pending_workers_ = threads_.size();
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  DrainTasks(0);  // the caller is worker 0
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return pending_workers_ == 0; });
+  fn_ = nullptr;
+}
+
+void WorkerPool::DrainTasks(size_t worker) {
+  while (true) {
+    size_t task = next_task_.fetch_add(1, std::memory_order_relaxed);
+    if (task >= num_tasks_) return;
+    (*fn_)(task, worker);
+  }
+}
+
+void WorkerPool::WorkerLoop(size_t worker) {
+  uint64_t seen = 0;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      start_cv_.wait(lock,
+                     [&] { return shutdown_ || generation_ != seen; });
+      if (shutdown_) return;
+      seen = generation_;
+    }
+    DrainTasks(worker);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--pending_workers_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+namespace {
+
+bool AllVarsBound(const Term& t, const std::set<std::string>& bound) {
+  std::vector<std::string> vars;
+  t.CollectVariables(&vars);
+  for (const std::string& v : vars) {
+    if (bound.count(v) == 0) return false;
+  }
+  return true;
+}
+
+void SimulateBindings(const Rule& rule, const std::vector<size_t>& order,
+                      bool builtins_bind,
+                      std::vector<std::pair<size_t, std::vector<int>>>* out) {
+  std::set<std::string> bound;
+  for (size_t pos : order) {
+    const Literal& lit = rule.body()[pos];
+    if (lit.IsBuiltin()) {
+      // Whether a builtin binds its variables depends on which side is
+      // ground at runtime (X = Y+1 binds X given Y; X < Y binds nothing).
+      // The caller simulates both assumptions, so either way the runtime
+      // bound set matches one prediction.
+      if (builtins_bind) {
+        std::vector<std::string> vars;
+        lit.CollectVariables(&vars);
+        bound.insert(vars.begin(), vars.end());
+      }
+      continue;
+    }
+    if (lit.negated()) continue;  // tests absence; binds nothing
+    std::vector<int> cols;
+    for (size_t i = 0; i < lit.arity(); ++i) {
+      if (AllVarsBound(lit.args()[i], bound)) {
+        cols.push_back(static_cast<int>(i));
+      }
+    }
+    if (!cols.empty()) out->emplace_back(pos, std::move(cols));
+    std::vector<std::string> vars;
+    lit.CollectVariables(&vars);
+    bound.insert(vars.begin(), vars.end());
+  }
+}
+
+}  // namespace
+
+std::vector<std::pair<size_t, std::vector<int>>> PredictBoundCols(
+    const Rule& rule, const std::vector<size_t>& order) {
+  std::vector<size_t> visit = order;
+  if (visit.empty()) {
+    visit.resize(rule.body().size());
+    for (size_t i = 0; i < visit.size(); ++i) visit[i] = i;
+  }
+  if (visit.size() != rule.body().size()) return {};
+  std::vector<std::pair<size_t, std::vector<int>>> out;
+  SimulateBindings(rule, visit, /*builtins_bind=*/false, &out);
+  SimulateBindings(rule, visit, /*builtins_bind=*/true, &out);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace ldl

@@ -1,0 +1,97 @@
+#ifndef LDLOPT_ENGINE_PARALLEL_H_
+#define LDLOPT_ENGINE_PARALLEL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "ast/rule.h"
+
+namespace ldl {
+
+/// Knobs for the parallel hash-partitioned fixpoint engine. The default
+/// (num_threads = 1) runs the exact sequential code path, byte-for-byte
+/// identical to the pre-parallel engine.
+struct EngineOptions {
+  /// Worker count for fixpoint rounds. 1 = sequential evaluation (the
+  /// original tuple-at-a-time loop, unchanged). N > 1 partitions each
+  /// round's delta relations by tuple hash across N workers (the calling
+  /// thread doubles as worker 0) and merges the per-task outputs through a
+  /// sharded deterministic barrier.
+  size_t num_threads = 1;
+
+  /// Rounds whose total delta is below this many tuples skip partitioning
+  /// and run as a single task — fan-out overhead would exceed the work.
+  size_t min_partition_tuples = 64;
+
+  /// Test-only hook invoked by each worker at task boundaries, used by the
+  /// schedule-perturbation tests to force different interleavings. Must be
+  /// thread-safe. Never set in production.
+  std::function<void(size_t worker)> test_yield_hook;
+};
+
+/// A fixed pool of persistent worker threads executing batches of
+/// independent tasks. The calling thread participates as worker 0, so a
+/// pool of `num_threads` uses num_threads - 1 OS threads.
+///
+/// Run() dispatches tasks by atomic counter (work stealing degenerates to
+/// this under uniform task cost) and blocks until every task completed.
+/// Tasks must not throw and must synchronize among themselves only through
+/// data the caller partitioned up front — the pool provides the
+/// fork/join edges (mutex + condition variables), which give the usual
+/// happens-before: everything written before Run() is visible to tasks,
+/// everything tasks write is visible after Run() returns.
+class WorkerPool {
+ public:
+  /// Creates a pool with `num_threads` total workers (minimum 1; one is the
+  /// caller). Threads start idle and park on a condition variable between
+  /// rounds.
+  explicit WorkerPool(size_t num_threads);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  size_t num_workers() const { return threads_.size() + 1; }
+
+  /// Runs fn(task, worker) for task = 0..num_tasks-1 across the pool and
+  /// returns when all calls finished. Not reentrant: one Run at a time.
+  void Run(size_t num_tasks, const std::function<void(size_t, size_t)>& fn);
+
+ private:
+  void WorkerLoop(size_t worker);
+  void DrainTasks(size_t worker);
+
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  uint64_t generation_ = 0;     // bumped per Run(); wakes parked workers
+  size_t pending_workers_ = 0;  // pool threads still draining this round
+  size_t num_tasks_ = 0;
+  const std::function<void(size_t, size_t)>* fn_ = nullptr;
+  std::atomic<size_t> next_task_{0};
+  bool shutdown_ = false;
+};
+
+/// Statically predicts the bound-column sets that positive body literals of
+/// `rule` will use for index lookups when evaluated in `order` (empty order
+/// = textual). Returns (body_pos, bound_cols) pairs, deduplicated; a literal
+/// can contribute two entries because builtins may or may not bind their
+/// variables by runtime, and both assumptions are simulated.
+///
+/// The parallel engine calls this on the coordinator thread to PrepareIndex
+/// every predicted lookup before a round fans out; a prediction miss is
+/// harmless (workers fall back to a scan), a mutation during the round would
+/// not be — so workers never build indexes themselves.
+std::vector<std::pair<size_t, std::vector<int>>> PredictBoundCols(
+    const Rule& rule, const std::vector<size_t>& order);
+
+}  // namespace ldl
+
+#endif  // LDLOPT_ENGINE_PARALLEL_H_

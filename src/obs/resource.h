@@ -42,9 +42,13 @@ struct QueryLimits {
 /// serving layer needs (one tenant's budget, the process's budget, or the
 /// query's own budget can each be the binding constraint).
 ///
-/// All mutators are relaxed atomics: safe to charge from the future
-/// parallel engine's workers, cheap enough for per-batch charging on hot
-/// paths (hot loops accumulate locally and flush at check-points).
+/// All mutators are relaxed atomics: the parallel engine's workers charge
+/// this concurrently (each flushes locally accumulated work at
+/// check-points), so totals are exact under any schedule — no charge is
+/// lost or double-counted. peak_bytes is maintained with a CAS loop and is
+/// exact up to check-point granularity. Configuration (set_budget, the
+/// parent link) must be fixed before evaluation starts and not changed
+/// while workers are running; readers may sample meters at any time.
 class ResourceAccountant {
  public:
   explicit ResourceAccountant(ResourceAccountant* parent = nullptr)
@@ -145,6 +149,14 @@ class ResourceAccountant {
 ///
 /// Tokens chain like accountants: a per-query token can point at a session
 /// token, so a server can cancel every in-flight query with one call.
+///
+/// Concurrency: Check() and RequestCancel() are safe from any number of
+/// threads (the cancel flag and check counter are atomics; the accountant
+/// chain is itself thread-safe). The deadline and accountant pointer are
+/// configuration — set them before evaluation fans out (LdlSystem does this
+/// during query setup) and leave them fixed while workers poll. Parallel
+/// fixpoint tasks each poll the same token every kCheckIntervalTuples, so
+/// a mid-round abort is observed by every worker within one interval.
 class CancellationToken {
  public:
   /// Tuples examined between consecutive budget/deadline checks inside the

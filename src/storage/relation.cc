@@ -91,9 +91,30 @@ size_t Relation::InsertAll(const Relation& other) {
   return added;
 }
 
+size_t Relation::InsertBatch(std::vector<Tuple> batch) {
+  size_t added = 0;
+  for (Tuple& t : batch) {
+    if (Insert(std::move(t))) ++added;
+  }
+  return added;
+}
+
+void Relation::AppendUnchecked(Tuple t, size_t hash) {
+  assert(t.size() == arity_ && "tuple arity mismatch");
+  assert(!ContainsHashed(t, hash) && "AppendUnchecked requires a new tuple");
+  dedup_[hash].push_back(static_cast<uint32_t>(tuples_.size()));
+  if (accountant_ != nullptr) {
+    ChargeDelta(ApproxTupleBytes(t) + kDedupEntryBytes, 0);
+  }
+  tuples_.push_back(std::move(t));
+}
+
 bool Relation::Contains(const Tuple& t) const {
-  size_t h = TupleHash{}(t);
-  auto it = dedup_.find(h);
+  return ContainsHashed(t, TupleHash{}(t));
+}
+
+bool Relation::ContainsHashed(const Tuple& t, size_t hash) const {
+  auto it = dedup_.find(hash);
   if (it == dedup_.end()) return false;
   for (uint32_t id : it->second) {
     if (tuples_[id] == t) return true;
@@ -108,13 +129,36 @@ void Relation::Clear() {
   indexes_.clear();
 }
 
+namespace {
+// Shared "no match" posting list. Immutable after thread-safe static init,
+// so concurrent FindPostings callers may all point at it.
+const std::vector<uint32_t>& EmptyPostings() {
+  static const auto* empty = new std::vector<uint32_t>();
+  return *empty;
+}
+}  // namespace
+
 const std::vector<uint32_t>& Relation::Lookup(const std::vector<int>& cols,
                                               const Tuple& key) {
-  static const auto* empty = new std::vector<uint32_t>();
   Index& index = indexes_[cols];
   if (index.built_upto < tuples_.size()) ExtendIndex(cols, &index);
   auto it = index.postings.find(key);
-  return it == index.postings.end() ? *empty : it->second;
+  return it == index.postings.end() ? EmptyPostings() : it->second;
+}
+
+void Relation::PrepareIndex(const std::vector<int>& cols) {
+  Index& index = indexes_[cols];
+  if (index.built_upto < tuples_.size()) ExtendIndex(cols, &index);
+}
+
+const std::vector<uint32_t>* Relation::FindPostings(
+    const std::vector<int>& cols, const Tuple& key) const {
+  auto it = indexes_.find(cols);
+  if (it == indexes_.end() || it->second.built_upto < tuples_.size()) {
+    return nullptr;  // no current index; caller must scan
+  }
+  auto pit = it->second.postings.find(key);
+  return pit == it->second.postings.end() ? &EmptyPostings() : &pit->second;
 }
 
 void Relation::ExtendIndex(const std::vector<int>& cols, Index* index) {

@@ -1,0 +1,99 @@
+#include "storage/sharded.h"
+
+#include <cassert>
+
+namespace ldl {
+
+bool TupleBatch::Insert(Tuple t) {
+  assert(t.size() == arity_ && "tuple arity mismatch");
+  if (t.size() != arity_) return false;
+  size_t h = TupleHash{}(t);
+  auto& bucket = dedup_[h];
+  for (uint32_t id : bucket) {
+    if (tuples_[id] == t) return false;
+  }
+  bucket.push_back(static_cast<uint32_t>(tuples_.size()));
+  approx_bytes_ += ApproxTupleBytes(t) + sizeof(size_t) + sizeof(uint32_t);
+  tuples_.push_back(std::move(t));
+  hashes_.push_back(h);
+  return true;
+}
+
+void TupleBatch::Clear() {
+  tuples_.clear();
+  hashes_.clear();
+  dedup_.clear();
+  approx_bytes_ = 0;
+}
+
+ShardedMerger::ShardedMerger(size_t num_shards)
+    : shards_(num_shards == 0 ? 1 : num_shards) {}
+
+void ShardedMerger::CollectShard(size_t shard,
+                                 const std::vector<const TupleBatch*>& batches,
+                                 const Relation& base) {
+  assert(shard < shards_.size());
+  Shard& s = shards_[shard];
+  const size_t p = shards_.size();
+  for (const TupleBatch* batch : batches) {
+    if (batch == nullptr) continue;
+    const auto& tuples = batch->tuples();
+    const auto& hashes = batch->hashes();
+    for (size_t i = 0; i < tuples.size(); ++i) {
+      const size_t h = hashes[i];
+      if (h % p != shard) continue;
+      if (base.ContainsHashed(tuples[i], h)) continue;
+      auto& bucket = s.dedup[h];
+      bool seen = false;
+      for (uint32_t id : bucket) {
+        if (s.tuples[id] == tuples[i]) {
+          seen = true;
+          break;
+        }
+      }
+      if (seen) continue;
+      bucket.push_back(static_cast<uint32_t>(s.tuples.size()));
+      s.tuples.push_back(tuples[i]);
+      s.hashes.push_back(h);
+    }
+  }
+}
+
+size_t ShardedMerger::Commit(Relation* full, Relation* delta) {
+  size_t added = 0;
+  for (Shard& s : shards_) {
+    for (size_t i = 0; i < s.tuples.size(); ++i) {
+      if (delta != nullptr) delta->AppendUnchecked(s.tuples[i], s.hashes[i]);
+      full->AppendUnchecked(std::move(s.tuples[i]), s.hashes[i]);
+      ++added;
+    }
+    s.tuples.clear();
+    s.hashes.clear();
+    s.dedup.clear();
+  }
+  return added;
+}
+
+size_t ShardedMerger::CollectedCount() const {
+  size_t n = 0;
+  for (const Shard& s : shards_) n += s.tuples.size();
+  return n;
+}
+
+std::vector<Relation> HashPartitionRelation(const Relation& rel,
+                                            size_t parts) {
+  if (parts == 0) parts = 1;
+  std::vector<Relation> out;
+  out.reserve(parts);
+  for (size_t i = 0; i < parts; ++i) {
+    out.emplace_back(rel.name(), rel.arity());
+  }
+  for (const Tuple& t : rel.tuples()) {
+    size_t h = TupleHash{}(t);
+    // Source relations are duplicate-free, so each partition append is new.
+    out[h % parts].AppendUnchecked(t, h);
+  }
+  return out;
+}
+
+}  // namespace ldl

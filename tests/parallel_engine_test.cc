@@ -1,0 +1,334 @@
+// The concurrency contract of the hash-partitioned parallel engine
+// (engine/parallel.h, fixpoint.cc): at every thread count the answers are
+// bit-identical to the sequential engine, under any schedule; typed aborts
+// (cancel / deadline / budget) surface deterministically mid-round without
+// leaking worker state; and independent LdlSystem instances can evaluate
+// concurrently from distinct threads (the TSan pin for the static-state
+// audit documented in engine/builtins.h).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "ast/parser.h"
+#include "engine/query_eval.h"
+#include "ldl/ldl.h"
+#include "obs/resource.h"
+#include "testing/workloads.h"
+
+namespace ldl {
+namespace {
+
+Program P(const char* text) {
+  auto r = ParseProgram(text);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return *r;
+}
+
+Literal L(const char* text) {
+  auto r = ParseLiteral(text);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return *r;
+}
+
+std::vector<Tuple> Sorted(const Relation& r) {
+  std::vector<Tuple> out = r.tuples();
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+constexpr const char* kSg = R"(
+  sg(X, Y) <- flat(X, Y).
+  sg(X, Y) <- up(X, X1), sg(X1, Y1), dn(Y1, Y).
+)";
+
+constexpr const char* kTc = R"(
+  tc(X, Y) <- edge(X, Y).
+  tc(X, Y) <- edge(X, Z), tc(Z, Y).
+)";
+
+QueryEvalOptions ParOptions(size_t threads) {
+  QueryEvalOptions options;
+  options.fixpoint.engine.num_threads = threads;
+  // Partition even tiny deltas so small test workloads still exercise the
+  // multi-task path (the production default keeps short rounds sequential).
+  options.fixpoint.engine.min_partition_tuples = 1;
+  return options;
+}
+
+// Every method at every thread count produces the sequential answer set —
+// the core acceptance bar of the parallel engine.
+TEST(ParallelEquivalenceTest, AllMethodsAllThreadCountsMatchSequential) {
+  Program p = P(kSg);
+  Database db;
+  testing::MakeSameGenerationData(3, 4, &db);
+  for (const char* query : {"sg(X, Y)", "sg(0, Y)"}) {
+    Literal goal = L(query);
+    for (RecursionMethod method :
+         {RecursionMethod::kSemiNaive, RecursionMethod::kNaive,
+          RecursionMethod::kMagic, RecursionMethod::kCounting}) {
+      auto seq = EvaluateQuery(p, &db, goal, method, {});
+      ASSERT_TRUE(seq.ok()) << seq.status();
+      for (size_t threads : {size_t{1}, size_t{2}, size_t{3}, size_t{4}}) {
+        auto par = EvaluateQuery(p, &db, goal, method, ParOptions(threads));
+        ASSERT_TRUE(par.ok())
+            << query << " " << RecursionMethodToString(method) << " threads "
+            << threads << ": " << par.status();
+        EXPECT_EQ(Sorted(par->answers), Sorted(seq->answers))
+            << query << " " << RecursionMethodToString(method) << " threads "
+            << threads;
+      }
+    }
+  }
+}
+
+// Cyclic data: the counting divergence guard must still trip under
+// snapshot-round semantics and fall back to magic with identical answers.
+TEST(ParallelEquivalenceTest, CountingFallbackStillCorrectInParallel) {
+  Program p = P(kTc);
+  Database db;
+  testing::MakeCycle(12, &db);
+  auto seq = EvaluateQuery(p, &db, L("tc(0, Y)"),
+                           RecursionMethod::kCounting, {});
+  ASSERT_TRUE(seq.ok()) << seq.status();
+  auto par = EvaluateQuery(p, &db, L("tc(0, Y)"), RecursionMethod::kCounting,
+                           ParOptions(4));
+  ASSERT_TRUE(par.ok()) << par.status();
+  EXPECT_EQ(Sorted(par->answers), Sorted(seq->answers));
+  EXPECT_EQ(par->answers.size(), 12u);
+}
+
+// 64 repeated 4-thread runs produce the identical fingerprint: the sharded
+// merge barrier commits in shard order and statuses/counters fold in task
+// order, so nothing observable depends on the schedule.
+TEST(ParallelDeterminismTest, SixtyFourRunsIdenticalFingerprint) {
+  Program p = P(kSg);
+  Database db;
+  testing::MakeSameGenerationData(3, 4, &db);
+  Literal goal = L("sg(X, Y)");
+  auto seq = EvaluateQuery(p, &db, goal, RecursionMethod::kSemiNaive, {});
+  ASSERT_TRUE(seq.ok());
+  const std::string expected = AnswerFingerprint(seq->answers);
+  for (int run = 0; run < 64; ++run) {
+    auto par =
+        EvaluateQuery(p, &db, goal, RecursionMethod::kSemiNaive,
+                      ParOptions(4));
+    ASSERT_TRUE(par.ok()) << "run " << run << ": " << par.status();
+    EXPECT_EQ(AnswerFingerprint(par->answers), expected) << "run " << run;
+  }
+}
+
+// Schedule perturbation: a test-only yield hook makes workers surrender the
+// processor at pseudo-random points, forcing interleavings a quiet machine
+// would never produce. Answers must not move.
+TEST(ParallelDeterminismTest, YieldPerturbedSchedulesAgree) {
+  Program p = P(kSg);
+  Database db;
+  testing::MakeSameGenerationData(3, 3, &db);
+  Literal goal = L("sg(X, Y)");
+  auto seq = EvaluateQuery(p, &db, goal, RecursionMethod::kSemiNaive, {});
+  ASSERT_TRUE(seq.ok());
+  const std::string expected = AnswerFingerprint(seq->answers);
+  std::atomic<uint64_t> calls{0};
+  for (int run = 0; run < 16; ++run) {
+    QueryEvalOptions options = ParOptions(4);
+    // Mixing the run number in decorrelates the yield points across runs.
+    options.fixpoint.engine.test_yield_hook = [&calls, run](size_t worker) {
+      uint64_t n = calls.fetch_add(1, std::memory_order_relaxed);
+      if ((n + worker + static_cast<uint64_t>(run)) % 3 == 0) {
+        std::this_thread::yield();
+      }
+    };
+    auto par =
+        EvaluateQuery(p, &db, goal, RecursionMethod::kSemiNaive, options);
+    ASSERT_TRUE(par.ok()) << "run " << run << ": " << par.status();
+    EXPECT_EQ(AnswerFingerprint(par->answers), expected) << "run " << run;
+  }
+  EXPECT_GT(calls.load(), 0u);  // the hook really ran inside workers
+}
+
+// A worker-raised cancellation aborts the round with the typed status and
+// leaves the engine reusable: the same database evaluates correctly
+// immediately afterwards (no poisoned pool, no half-merged delta visible).
+TEST(ParallelAbortTest, WorkerRaisedCancelAbortsMidRoundCleanly) {
+  Program p = P(kSg);
+  Database db;
+  testing::MakeSameGenerationData(3, 4, &db);
+  Literal goal = L("sg(X, Y)");
+
+  CancellationToken token;
+  std::atomic<uint64_t> hook_calls{0};
+  QueryEvalOptions options = ParOptions(4);
+  options.fixpoint.trace.cancel = &token;
+  // Cancel from inside a worker once tasks are demonstrably in flight —
+  // the abort lands mid-parallel-round, not at the setup check-point.
+  options.fixpoint.engine.test_yield_hook = [&](size_t /*worker*/) {
+    if (hook_calls.fetch_add(1, std::memory_order_relaxed) == 4) {
+      token.RequestCancel();
+    }
+  };
+  auto cancelled =
+      EvaluateQuery(p, &db, goal, RecursionMethod::kSemiNaive, options);
+  ASSERT_FALSE(cancelled.ok());
+  EXPECT_EQ(cancelled.status().code(), StatusCode::kCancelled)
+      << cancelled.status();
+  EXPECT_GT(hook_calls.load(), 4u);
+
+  // No worker state leaked: a fresh parallel evaluation over the same
+  // inputs succeeds and matches sequential.
+  auto seq = EvaluateQuery(p, &db, goal, RecursionMethod::kSemiNaive, {});
+  auto retry =
+      EvaluateQuery(p, &db, goal, RecursionMethod::kSemiNaive, ParOptions(4));
+  ASSERT_TRUE(seq.ok() && retry.ok());
+  EXPECT_EQ(Sorted(retry->answers), Sorted(seq->answers));
+}
+
+// An expired wall-clock deadline surfaces as kDeadlineExceeded from the
+// parallel evaluation, every time.
+TEST(ParallelAbortTest, DeadlineExceededIsTyped) {
+  Program p = P(kSg);
+  Database db;
+  testing::MakeSameGenerationData(3, 4, &db);
+  for (int run = 0; run < 4; ++run) {
+    CancellationToken token;
+    token.set_deadline_after(std::chrono::duration<double, std::milli>(0.0));
+    QueryEvalOptions options = ParOptions(4);
+    options.fixpoint.trace.cancel = &token;
+    auto result = EvaluateQuery(p, &db, L("sg(X, Y)"),
+                                RecursionMethod::kSemiNaive, options);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded)
+        << result.status();
+  }
+}
+
+// A tuples-examined budget trips kResourceExhausted while four workers are
+// charging the same accountant concurrently, and the status is the same on
+// every run (workers flush exact counts; the abort is a typed status, not a
+// crash or a wrong answer).
+TEST(ParallelAbortTest, BudgetAbortIsTypedAndRepeatable) {
+  Program p = P(kSg);
+  Database db;
+  testing::MakeSameGenerationData(3, 4, &db);
+  std::set<StatusCode> codes;
+  for (int run = 0; run < 8; ++run) {
+    ResourceAccountant accountant;
+    ResourceBudget budget;
+    budget.max_tuples_examined = 50;
+    accountant.set_budget(budget);
+    CancellationToken token;
+    token.set_accountant(&accountant);
+    QueryEvalOptions options = ParOptions(4);
+    options.fixpoint.trace.accountant = &accountant;
+    options.fixpoint.trace.cancel = &token;
+    auto result = EvaluateQuery(p, &db, L("sg(X, Y)"),
+                                RecursionMethod::kSemiNaive, options);
+    ASSERT_FALSE(result.ok()) << "run " << run;
+    codes.insert(result.status().code());
+    EXPECT_GT(accountant.tuples_examined(), 0u);
+  }
+  // Deterministic: the same typed abort on every schedule.
+  ASSERT_EQ(codes.size(), 1u);
+  EXPECT_EQ(*codes.begin(), StatusCode::kResourceExhausted);
+}
+
+// The per-round derivation cap aborts a parallel round deterministically:
+// each task gets the same fixed budget and the post-barrier cumulative
+// check re-applies the cap, so the outcome cannot depend on which worker
+// ran first.
+TEST(ParallelAbortTest, DerivationCapDeterministicAcrossRuns) {
+  Program p = P(kSg);
+  Database db;
+  testing::MakeSameGenerationData(3, 4, &db);
+  std::set<std::string> outcomes;
+  for (int run = 0; run < 8; ++run) {
+    QueryEvalOptions options = ParOptions(4);
+    options.fixpoint.max_derivations = 25;
+    auto result = EvaluateQuery(p, &db, L("sg(X, Y)"),
+                                RecursionMethod::kSemiNaive, options);
+    ASSERT_FALSE(result.ok()) << "run " << run;
+    EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted)
+        << result.status();
+    outcomes.insert(result.status().ToString());
+  }
+  EXPECT_EQ(outcomes.size(), 1u) << "abort status varied across schedules";
+}
+
+// Two fully independent LdlSystem instances evaluated from two OS threads,
+// each running the parallel engine — the TSan pin for the reentrancy
+// contract in engine/builtins.h: no mutable static state anywhere on the
+// evaluation path.
+TEST(ParallelIsolationTest, ConcurrentIndependentSystems) {
+  auto worker = [](size_t fanout, size_t* rows, bool* ok) {
+    LdlSystem sys;
+    *ok = sys.LoadProgram(kSg).ok();
+    if (!*ok) return;
+    testing::MakeSameGenerationData(fanout, 3, sys.database());
+    sys.RefreshStatistics();
+    OptimizerOptions o;
+    o.engine.num_threads = 2;
+    o.engine.min_partition_tuples = 1;
+    sys.set_options(o);
+    for (int i = 0; i < 8; ++i) {
+      auto answer = sys.Query("sg(X, Y)");
+      if (!answer.ok() || answer->answers.empty()) {
+        *ok = false;
+        return;
+      }
+      *rows = answer->answers.size();
+    }
+  };
+  size_t rows_a = 0;
+  size_t rows_b = 0;
+  bool ok_a = false;
+  bool ok_b = false;
+  std::thread ta(worker, 2, &rows_a, &ok_a);
+  std::thread tb(worker, 3, &rows_b, &ok_b);
+  ta.join();
+  tb.join();
+  ASSERT_TRUE(ok_a);
+  ASSERT_TRUE(ok_b);
+
+  // Cross-check each concurrent result against a quiet single-threaded
+  // evaluation of the same workload.
+  for (auto [fanout, rows] : {std::pair<size_t, size_t>{2, rows_a},
+                              std::pair<size_t, size_t>{3, rows_b}}) {
+    Program p = P(kSg);
+    Database db;
+    testing::MakeSameGenerationData(fanout, 3, &db);
+    auto seq =
+        EvaluateQuery(p, &db, L("sg(X, Y)"), RecursionMethod::kSemiNaive, {});
+    ASSERT_TRUE(seq.ok());
+    EXPECT_EQ(rows, seq->answers.size()) << "fanout " << fanout;
+  }
+}
+
+// The optimized path (LdlSystem::Query) honors the forwarded engine
+// options: parallel answers equal sequential answers strategy-for-strategy.
+TEST(ParallelOptimizedPathTest, StrategiesAgreeAcrossThreadCounts) {
+  LdlSystem sys;
+  ASSERT_TRUE(sys.LoadProgram(kSg).ok());
+  testing::MakeSameGenerationData(3, 3, sys.database());
+  sys.RefreshStatistics();
+
+  auto fingerprint = [&](size_t threads) {
+    OptimizerOptions o;
+    o.engine.num_threads = threads;
+    o.engine.min_partition_tuples = 1;
+    sys.set_options(o);
+    auto answer = sys.Query("sg(0, Y)");
+    EXPECT_TRUE(answer.ok()) << answer.status();
+    return answer.ok() ? AnswerFingerprint(answer->answers) : std::string();
+  };
+  const std::string seq = fingerprint(1);
+  ASSERT_FALSE(seq.empty());
+  EXPECT_EQ(fingerprint(2), seq);
+  EXPECT_EQ(fingerprint(4), seq);
+}
+
+}  // namespace
+}  // namespace ldl

@@ -37,6 +37,10 @@
 //                        query over budget aborts with ResourceExhausted.
 //   --budget-tuples N    per-query cap on tuples examined.
 //   --deadline-ms X      per-query wall-clock deadline (DeadlineExceeded).
+//   --threads N          evaluate fixpoints with the hash-partitioned
+//                        parallel engine at N worker threads (default 1 =
+//                        the sequential code path; answers are identical
+//                        at every N, see DESIGN.md section 16).
 //   --query-log FILE     execute each query through the instrumented
 //                        lifecycle path and append one structured JSONL
 //                        record per query (replayable with ldl_replay).
@@ -93,6 +97,7 @@ struct CliOptions {
   uint64_t budget_bytes = 0;
   uint64_t budget_tuples = 0;
   double deadline_ms = 0;
+  size_t threads = 1;
   int stats_port = -1;  ///< -1 = no server; 0 = ephemeral
   int sample_ms = 200;
   int repeat = 1;
@@ -117,6 +122,7 @@ int Usage() {
                "[--calibration-json FILE] [--search-json FILE] "
                "[--fixpoint-json FILE] [--dot FILE] [--prune] "
                "[--budget-bytes N] [--budget-tuples N] [--deadline-ms X] "
+               "[--threads N] "
                "[--query-log FILE] [--stats-port N] [--sample-ms X] "
                "[--repeat K] [--feedback] [--stats-export FILE] "
                "[--stats-import FILE] file.ldl | -\n";
@@ -172,6 +178,12 @@ int main(int argc, char** argv) {
       cli.budget_tuples = std::stoull(argv[++i]);
     } else if (arg == "--deadline-ms" && i + 1 < argc) {
       cli.deadline_ms = std::stod(argv[++i]);
+    } else if (arg == "--threads" && i + 1 < argc) {
+      cli.threads = std::stoull(argv[++i]);
+      if (cli.threads == 0 || cli.threads > 64) {
+        std::cerr << "ldl_profile: --threads must be in 1..64\n";
+        return 2;
+      }
     } else if (arg == "--query-log" && i + 1 < argc) {
       cli.query_log = argv[++i];
     } else if (arg == "--stats-port" && i + 1 < argc) {
@@ -232,6 +244,7 @@ int main(int argc, char** argv) {
     options.analyze_reachability = true;
     options.eliminate_dead_rules = true;
   }
+  options.engine.num_threads = cli.threads;
   options.limits.budget_bytes = cli.budget_bytes;
   options.limits.budget_tuples = cli.budget_tuples;
   options.limits.deadline_ms = cli.deadline_ms;
